@@ -1,0 +1,67 @@
+"""Ablation — the step-2 heuristic of JUMPS (§4, step 2).
+
+The paper leaves the choice between "favoring returns" and "favoring
+loops" to a heuristic.  This harness compares three policies: shortest
+sequence (the default), always-favor-returns and always-favor-loops, on
+static growth and dynamic savings.
+"""
+
+from __future__ import annotations
+
+from repro.benchsuite import run_benchmark
+from repro.report import format_table, mean, pct
+
+from conftest import selected_programs
+
+POLICIES = ("shortest", "returns", "loops")
+
+
+def test_policy_ablation(benchmark, suite_measurements):
+    def build():
+        rows = []
+        for name in selected_programs():
+            simple = suite_measurements[("sparc", "none", name)]
+            row = [name]
+            for policy in POLICIES:
+                m = run_benchmark(
+                    name, target="sparc", replication="jumps", policy=_as_policy(policy)
+                )
+                row.append(pct(m.static_insns, simple.static_insns))
+                row.append(pct(m.dynamic_insns, simple.dynamic_insns))
+            rows.append(row)
+        return rows
+
+    def _as_policy(name):
+        from repro.api import POLICIES as P
+
+        return P[name]
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    headers = ["program"] + [
+        f"{p}({kind})" for p in POLICIES for kind in ("st", "dyn")
+    ]
+    # Reorder header to match row layout (st, dyn per policy).
+    headers = ["program"]
+    for p in POLICIES:
+        headers += [f"{p} st", f"{p} dyn"]
+    print()
+    print("Ablation: JUMPS step-2 policy (SPARC, vs SIMPLE)")
+    print(format_table(headers, rows))
+
+    # All policies must preserve behaviour and eliminate the jumps; the
+    # shortest policy should not replicate more than favoring returns on
+    # average (it minimizes growth by construction).
+    names = selected_programs()
+    shortest_static = mean(
+        [
+            run_benchmark(n, "sparc", "jumps", policy=_as_policy("shortest")).static_insns
+            for n in names
+        ]
+    )
+    returns_static = mean(
+        [
+            run_benchmark(n, "sparc", "jumps", policy=_as_policy("returns")).static_insns
+            for n in names
+        ]
+    )
+    assert shortest_static <= returns_static * 1.05

@@ -1,0 +1,56 @@
+"""Table 4 — percent of instructions that are unconditional jumps.
+
+Paper's finding: on SIMPLE code, unconditional jumps are ~3-5% of static
+and ~3-4% of dynamic instructions; LOOPS removes roughly 40% of the
+dynamic ones; JUMPS leaves practically none (~0.1%).
+"""
+
+from __future__ import annotations
+
+from repro.report import format_table, mean, stddev
+
+from conftest import CONFIG_LABEL, CONFIGS, TARGETS, selected_programs
+
+
+def _jump_percentages(measurements, target, config, kind):
+    values = []
+    for name in selected_programs():
+        m = measurements[(target, config, name)]
+        if kind == "static":
+            values.append(100.0 * m.static_jumps / m.static_insns)
+        else:
+            values.append(100.0 * m.dynamic_jumps / max(1, m.dynamic_insns))
+    return values
+
+
+def test_table4_jump_frequency(benchmark, suite_measurements):
+    def build():
+        rows = []
+        for target in TARGETS:
+            for stat in ("average", "std. deviation"):
+                row = [target if stat == "average" else "", stat]
+                for kind in ("static", "dynamic"):
+                    for config in CONFIGS:
+                        values = _jump_percentages(
+                            suite_measurements, target, config, kind
+                        )
+                        agg = mean(values) if stat == "average" else stddev(values)
+                        row.append(f"{agg:.2f}%")
+                rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    headers = ["processor", ""] + [
+        f"{kind[:3]}.{CONFIG_LABEL[c]}" for kind in ("static", "dynamic") for c in CONFIGS
+    ]
+    print()
+    print("Table 4: Percent of Instructions that are Unconditional Jumps")
+    print(format_table(headers, rows))
+
+    # Shape assertions mirroring the paper's observations.
+    for target in TARGETS:
+        simple = mean(_jump_percentages(suite_measurements, target, "none", "dynamic"))
+        loops = mean(_jump_percentages(suite_measurements, target, "loops", "dynamic"))
+        jumps = mean(_jump_percentages(suite_measurements, target, "jumps", "dynamic"))
+        assert simple > loops > jumps, (target, simple, loops, jumps)
+        assert jumps < 0.5  # "practically no unconditional jumps are left"

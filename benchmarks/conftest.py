@@ -1,0 +1,59 @@
+"""Shared machinery for the experiment harnesses.
+
+Each ``bench_table*.py`` regenerates one table or figure of the paper.
+Measurements are memoized inside :mod:`repro.benchsuite.runner`, so the
+full suite compiles and interprets each (program, target, configuration)
+combination exactly once per pytest session.
+
+Environment knobs:
+
+* ``REPRO_BENCH_PROGRAMS`` — comma-separated subset of program names, for
+  quick runs (e.g. ``REPRO_BENCH_PROGRAMS=wc,sieve pytest benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+import pytest
+
+from repro.benchsuite import program_names, run_benchmark
+from repro.ease import Measurement
+
+TARGETS = ("sparc", "m68020")
+CONFIGS = ("none", "loops", "jumps")
+CONFIG_LABEL = {"none": "SIMPLE", "loops": "LOOPS", "jumps": "JUMPS"}
+
+
+def selected_programs() -> List[str]:
+    override = os.environ.get("REPRO_BENCH_PROGRAMS")
+    if override:
+        return [name.strip() for name in override.split(",") if name.strip()]
+    return program_names()
+
+
+@pytest.fixture(scope="session")
+def suite_measurements() -> Dict[tuple, Measurement]:
+    """Measurements for every (target, config, program), without traces."""
+    results: Dict[tuple, Measurement] = {}
+    for target in TARGETS:
+        for config in CONFIGS:
+            for name in selected_programs():
+                results[(target, config, name)] = run_benchmark(
+                    name, target=target, replication=config
+                )
+    return results
+
+
+@pytest.fixture(scope="session")
+def traced_measurements() -> Dict[tuple, Measurement]:
+    """Measurements with block traces (for the cache experiments)."""
+    results: Dict[tuple, Measurement] = {}
+    for target in TARGETS:
+        for config in CONFIGS:
+            for name in selected_programs():
+                results[(target, config, name)] = run_benchmark(
+                    name, target=target, replication=config, trace=True
+                )
+    return results

@@ -1,0 +1,4 @@
+"""Setup shim for environments without wheel support (pip install -e . uses it)."""
+from setuptools import setup
+
+setup()

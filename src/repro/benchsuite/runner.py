@@ -1,0 +1,86 @@
+"""Compile-optimize-measure pipeline shared by every experiment.
+
+Results are memoized per (program, target, configuration, trace) because
+the benchmark harnesses for Tables 4, 5 and 6 all reuse the same runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..cfg.block import Program
+from ..core.replication import Policy
+from ..ease.measure import Measurement, measure_program
+from ..frontend.codegen import compile_c
+from ..opt.driver import OptimizationConfig, optimize_program
+from ..targets.machine import Machine, get_target
+from .programs import PROGRAMS, program_names
+
+__all__ = ["run_benchmark", "run_suite", "compile_benchmark", "clear_cache"]
+
+_measure_cache: Dict[tuple, Measurement] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoized measurements (frees their traces)."""
+    _measure_cache.clear()
+
+
+def compile_benchmark(
+    name: str,
+    target: Machine,
+    replication: str = "none",
+    policy: Policy = Policy.SHORTEST,
+    max_rtls: Optional[int] = None,
+) -> Program:
+    """Compile + optimize one benchmark program for one configuration."""
+    try:
+        bench = PROGRAMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; expected one of {program_names()}"
+        ) from None
+    program = compile_c(bench.source)
+    config = OptimizationConfig(
+        replication=replication, policy=policy, max_rtls=max_rtls
+    )
+    optimize_program(program, target, config)
+    return program
+
+
+def run_benchmark(
+    name: str,
+    target: str = "sparc",
+    replication: str = "none",
+    policy: Policy = Policy.SHORTEST,
+    max_rtls: Optional[int] = None,
+    trace: bool = False,
+    use_cache: bool = True,
+) -> Measurement:
+    """Measure one benchmark under one configuration (memoized)."""
+    key = (name, target, replication, policy, max_rtls, trace)
+    if use_cache and key in _measure_cache:
+        return _measure_cache[key]
+    machine = get_target(target)
+    program = compile_benchmark(name, machine, replication, policy, max_rtls)
+    measurement = measure_program(
+        program, machine, stdin=PROGRAMS[name].stdin, trace=trace
+    )
+    if use_cache:
+        _measure_cache[key] = measurement
+    return measurement
+
+
+def run_suite(
+    target: str = "sparc",
+    replication: str = "none",
+    names: Optional[Iterable[str]] = None,
+    trace: bool = False,
+) -> Dict[str, Measurement]:
+    """Measure the whole test set (Table 3) under one configuration."""
+    selected = list(names) if names is not None else program_names()
+    return {
+        name: run_benchmark(name, target, replication, trace=trace)
+        for name in selected
+    }

@@ -1,0 +1,20 @@
+"""Instruction-cache simulation (Table 6 substrate + associative extension)."""
+
+from .associative import AssociativeCacheConfig, simulate_associative_cache
+from .direct_mapped import (
+    PAPER_CACHE_SIZES,
+    CacheConfig,
+    CacheResult,
+    simulate_cache,
+    simulate_paper_configurations,
+)
+
+__all__ = [
+    "PAPER_CACHE_SIZES",
+    "CacheConfig",
+    "CacheResult",
+    "simulate_cache",
+    "simulate_paper_configurations",
+    "AssociativeCacheConfig",
+    "simulate_associative_cache",
+]

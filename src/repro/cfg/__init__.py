@@ -1,0 +1,34 @@
+"""Control-flow analysis: blocks, CFG, dominators, loops, reducibility."""
+
+from .block import BasicBlock, Function, GlobalData, Program
+from .dominators import DominatorTree, compute_dominators, dominates
+from .graph import (
+    build_function,
+    check_function,
+    compute_flow,
+    reachable_blocks,
+)
+from .loops import Loop, LoopInfo, find_loops
+from .reducibility import is_reducible
+from .traversal import dfs_preorder, postorder, reverse_postorder
+
+__all__ = [
+    "BasicBlock",
+    "Function",
+    "GlobalData",
+    "Program",
+    "DominatorTree",
+    "compute_dominators",
+    "dominates",
+    "build_function",
+    "check_function",
+    "compute_flow",
+    "reachable_blocks",
+    "Loop",
+    "LoopInfo",
+    "find_loops",
+    "is_reducible",
+    "dfs_preorder",
+    "postorder",
+    "reverse_postorder",
+]

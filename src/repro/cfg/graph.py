@@ -1,0 +1,166 @@
+"""Control-flow graph construction and maintenance.
+
+Two entry points matter to the rest of the system:
+
+* :func:`build_function` splits a flat ``(label, insn)`` listing into basic
+  blocks (used by the front-end and by the RTL parser based tests).
+* :func:`compute_flow` (re)computes predecessor/successor edges from the
+  block terminators and the positional layout.  Passes call it after any
+  structural change; it is cheap and keeps edge state authoritative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..rtl.insn import CondBranch, IndirectJump, Insn, Jump, Return
+from .block import BasicBlock, Function
+
+__all__ = [
+    "build_function",
+    "compute_flow",
+    "check_function",
+    "reachable_blocks",
+    "split_into_blocks",
+]
+
+
+def split_into_blocks(
+    pairs: Sequence[Tuple[Optional[str], Insn]], make_label
+) -> List[BasicBlock]:
+    """Split a labelled instruction listing into basic blocks.
+
+    A new block starts at every label and after every control transfer.
+    Blocks without an explicit label receive one from ``make_label``.
+    """
+    blocks: List[BasicBlock] = []
+    current: Optional[BasicBlock] = None
+    for label, insn in pairs:
+        if label is not None or current is None:
+            current = BasicBlock(label if label is not None else make_label())
+            blocks.append(current)
+        current.insns.append(insn)
+        if insn.is_transfer():
+            current = None
+    return blocks
+
+
+def build_function(
+    name: str,
+    pairs: Sequence[Tuple[Optional[str], Insn]],
+    params: Optional[Sequence[str]] = None,
+) -> Function:
+    """Build a :class:`Function` from a labelled instruction listing."""
+    func = Function(name, params)
+    # Two-phase labelling: we need fresh labels that do not clash with the
+    # listing's own labels, so collect those first.
+    used = {label for label, _ in pairs if label is not None}
+    counter = [0]
+
+    def make_label() -> str:
+        while True:
+            counter[0] += 1
+            candidate = f"B{counter[0]}"
+            if candidate not in used:
+                return candidate
+
+    func.blocks = split_into_blocks(pairs, make_label)
+    compute_flow(func)
+    return func
+
+
+def compute_flow(func: Function) -> None:
+    """Recompute predecessor/successor edges of every block in ``func``."""
+    by_label: Dict[str, BasicBlock] = {}
+    for block in func.blocks:
+        by_label[block.label] = block
+        block.preds = []
+        block.succs = []
+
+    for index, block in enumerate(func.blocks):
+        nxt = func.blocks[index + 1] if index + 1 < len(func.blocks) else None
+        term = block.terminator
+        succs: List[BasicBlock] = []
+        if isinstance(term, Jump):
+            succs.append(_lookup(by_label, term.target, func, block))
+        elif isinstance(term, CondBranch):
+            # Fall-through edge first, branch-taken edge second.
+            if nxt is None:
+                raise ValueError(
+                    f"{func.name}: block {block.label} ends in a conditional "
+                    "branch but has no fall-through block"
+                )
+            succs.append(nxt)
+            succs.append(_lookup(by_label, term.target, func, block))
+        elif isinstance(term, Return):
+            pass
+        elif isinstance(term, IndirectJump):
+            for target in term.targets:
+                succs.append(_lookup(by_label, target, func, block))
+        else:
+            if nxt is not None:
+                succs.append(nxt)
+        block.succs = succs
+        for succ in succs:
+            succ.preds.append(block)
+
+
+def _lookup(
+    by_label: Dict[str, BasicBlock], label: str, func: Function, src: BasicBlock
+) -> BasicBlock:
+    try:
+        return by_label[label]
+    except KeyError:
+        raise KeyError(
+            f"{func.name}: block {src.label} targets unknown label {label!r}"
+        ) from None
+
+
+def reachable_blocks(func: Function) -> Set[BasicBlock]:
+    """The set of blocks reachable from the entry (ids, not labels)."""
+    seen: Set[int] = set()
+    result: Set[BasicBlock] = set()
+    stack = [func.entry]
+    while stack:
+        block = stack.pop()
+        if id(block) in seen:
+            continue
+        seen.add(id(block))
+        result.add(block)
+        stack.extend(block.succs)
+    return result
+
+
+def check_function(func: Function) -> None:
+    """Validate structural invariants; raise ``AssertionError`` on violation.
+
+    Used by tests and (cheaply) by passes in debug scenarios:
+
+    * labels are unique,
+    * only the final instruction of a block is a transfer,
+    * the final block does not fall off the end of the function,
+    * edge sets are consistent with a fresh :func:`compute_flow`.
+    """
+    labels = [block.label for block in func.blocks]
+    assert len(labels) == len(set(labels)), f"duplicate labels in {func.name}"
+    for block in func.blocks:
+        for insn in block.insns[:-1]:
+            assert not insn.is_transfer(), (
+                f"{func.name}/{block.label}: transfer {insn!r} not at block end"
+            )
+    if func.blocks:
+        last = func.blocks[-1]
+        assert not last.falls_through(), (
+            f"{func.name}: final block {last.label} falls off the function end"
+        )
+    snapshot = {
+        block.label: ([p.label for p in block.preds], [s.label for s in block.succs])
+        for block in func.blocks
+    }
+    compute_flow(func)
+    for block in func.blocks:
+        fresh = ([p.label for p in block.preds], [s.label for s in block.succs])
+        assert snapshot[block.label] == fresh, (
+            f"{func.name}/{block.label}: stale edges {snapshot[block.label]} "
+            f"vs {fresh}"
+        )

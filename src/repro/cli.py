@@ -1,0 +1,350 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``compile``   print the optimized RTL of a mini-C file or named benchmark
+``run``       compile, optimize, execute; print the program output
+``measure``   print the measurement summary (counts, jumps, no-ops)
+``compare``   SIMPLE / LOOPS / JUMPS side by side for one program
+``cache``     instruction-cache sweep for one program
+``stats``     static-analysis census (instruction mix, loops, jumps)
+``dot``       Graphviz DOT rendering of the control-flow graphs
+``list``      list the Table-3 benchmark programs
+
+Programs are given either as a path to a ``.c`` file or as one of the
+benchmark names (``wc``, ``sieve``, …).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .api import POLICIES, compile_and_measure
+from .benchsuite import PROGRAMS, program_names
+from .cache import CacheConfig, simulate_cache
+from .report import format_table, pct
+from .rtl import format_function
+
+__all__ = ["main"]
+
+
+def _source_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "program",
+        help="path to a mini-C file, or a benchmark name "
+        f"({', '.join(program_names())})",
+    )
+
+
+def _config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--target",
+        choices=["m68020", "sparc"],
+        default="sparc",
+        help="machine model (default: sparc)",
+    )
+    parser.add_argument(
+        "--replication",
+        choices=["none", "loops", "jumps"],
+        default="none",
+        help="code replication configuration (default: none = SIMPLE)",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=sorted(POLICIES),
+        default="shortest",
+        help="JUMPS step-2 heuristic (default: shortest)",
+    )
+    parser.add_argument(
+        "--max-rtls",
+        type=int,
+        default=None,
+        help="bound on the replication sequence length (§6 extension)",
+    )
+    parser.add_argument(
+        "--stdin",
+        type=Path,
+        default=None,
+        help="file supplying the program's standard input",
+    )
+
+
+def _resolve(args) -> tuple:
+    """(source-or-name, stdin bytes or None)."""
+    name = args.program
+    stdin: Optional[bytes] = None
+    if args.stdin is not None:
+        stdin = args.stdin.read_bytes()
+    if name in PROGRAMS:
+        return name, stdin
+    path = Path(name)
+    if not path.exists():
+        raise SystemExit(
+            f"error: {name!r} is neither a benchmark name nor an existing file"
+        )
+    return path.read_text(), stdin
+
+
+def _measure(args, replication: Optional[str] = None, trace: bool = False):
+    source, stdin = _resolve(args)
+    return compile_and_measure(
+        source,
+        target=args.target,
+        replication=replication or args.replication,
+        stdin=stdin,
+        policy=args.policy,
+        max_rtls=args.max_rtls,
+        trace=trace,
+    )
+
+
+def cmd_compile(args) -> int:
+    """Print the optimized RTL of the program."""
+    result = _measure(args)
+    for func in result.program.functions.values():
+        print(format_function(func))
+        print()
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Compile, optimize and execute; mirror the program output."""
+    result = _measure(args)
+    sys.stdout.write(result.output.decode("latin-1"))
+    sys.stdout.flush()
+    return result.exit_code & 0xFF
+
+
+def cmd_measure(args) -> int:
+    """Print the EASE-style measurement summary."""
+    result = _measure(args)
+    m = result.measurement
+    rows = [
+        ["static instructions", m.static_insns],
+        ["static unconditional jumps", m.static_jumps],
+        ["code bytes", m.code_bytes],
+        ["dynamic instructions", m.dynamic_insns],
+        ["dynamic unconditional jumps", m.dynamic_jumps],
+        ["dynamic no-ops", m.dynamic_nops],
+        ["instructions between branches", f"{m.insns_between_branches:.2f}"],
+        ["exit code", m.exit_code],
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Print SIMPLE/LOOPS/JUMPS side by side."""
+    results = {}
+    for replication in ("none", "loops", "jumps"):
+        results[replication] = _measure(args, replication=replication)
+    base = results["none"].measurement
+    outputs = {r.output for r in results.values()}
+    rows = []
+    for label, key in (("SIMPLE", "none"), ("LOOPS", "loops"), ("JUMPS", "jumps")):
+        m = results[key].measurement
+        rows.append(
+            [
+                label,
+                m.static_insns,
+                pct(m.static_insns, base.static_insns),
+                m.dynamic_insns,
+                pct(m.dynamic_insns, base.dynamic_insns),
+                m.dynamic_jumps,
+                m.dynamic_nops,
+            ]
+        )
+    print(
+        format_table(
+            ["config", "static", "Δstatic", "dynamic", "Δdynamic", "jumps", "nops"],
+            rows,
+        )
+    )
+    if len(outputs) != 1:
+        print("WARNING: configurations produced different outputs!", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Run the instruction-cache sweep."""
+    result = _measure(args, trace=True)
+    m = result.measurement
+    rows = []
+    for size in args.sizes:
+        config = CacheConfig(size=size)
+        plain = simulate_cache(m.trace, m.block_fetches, config, False)
+        flushed = simulate_cache(m.trace, m.block_fetches, config, True)
+        rows.append(
+            [
+                f"{size}B" if size < 1024 else f"{size // 1024}KB",
+                plain.accesses,
+                f"{plain.miss_ratio * 100:.3f}%",
+                plain.fetch_cost,
+                f"{flushed.miss_ratio * 100:.3f}%",
+                flushed.fetch_cost,
+            ]
+        )
+    print(
+        format_table(
+            ["cache", "fetches", "miss (no ctx)", "cost", "miss (ctx)", "cost (ctx)"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Print the static-analysis census."""
+    from .analysis import (
+        function_breakdown,
+        instruction_histogram,
+        jump_census,
+        loop_census,
+    )
+    from .targets.machine import get_target
+
+    result = _measure(args)
+    program = result.program
+    target = get_target(args.target)
+
+    print("Instruction mix:")
+    histogram = instruction_histogram(program)
+    print(
+        format_table(
+            ["kind", "count"],
+            [[k, v] for k, v in sorted(histogram.items()) if v],
+        )
+    )
+    print("\nPer function:")
+    print(
+        format_table(
+            ["function", "blocks", "insns", "jumps", "bytes"],
+            function_breakdown(program, target),
+        )
+    )
+    loops = loop_census(program)
+    if loops:
+        print("\nNatural loops:")
+        print(
+            format_table(
+                ["function", "header", "blocks", "has jump"],
+                [[f, h, n, "yes" if j else "no"] for f, h, n, j in loops],
+            )
+        )
+    jumps = jump_census(program)
+    if jumps:
+        print("\nSurviving unconditional jumps:")
+        print(
+            format_table(
+                ["function", "block", "target", "category"],
+                [[j.function, j.block, j.target, j.category] for j in jumps],
+            )
+        )
+    return 0
+
+
+def cmd_dot(args) -> int:
+    """Emit Graphviz DOT for the CFGs."""
+    from .viz import to_dot
+
+    result = _measure(args)
+    funcs = (
+        [result.program.functions[args.function]]
+        if args.function
+        else result.program.functions.values()
+    )
+    for func in funcs:
+        print(to_dot(func))
+    return 0
+
+
+def cmd_list(args) -> int:
+    """List the Table-3 benchmark programs."""
+    rows = [
+        [p.name, p.category, p.description, len(p.stdin)]
+        for p in PROGRAMS.values()
+    ]
+    print(format_table(["name", "class", "description", "stdin bytes"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Mueller & Whalley, PLDI 1992: "
+        "code replication against unconditional jumps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="print optimized RTL")
+    _source_argument(p)
+    _config_arguments(p)
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="compile and execute")
+    _source_argument(p)
+    _config_arguments(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("measure", help="print the measurement summary")
+    _source_argument(p)
+    _config_arguments(p)
+    p.set_defaults(func=cmd_measure)
+
+    p = sub.add_parser("compare", help="SIMPLE/LOOPS/JUMPS side by side")
+    _source_argument(p)
+    _config_arguments(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("cache", help="instruction-cache sweep")
+    _source_argument(p)
+    _config_arguments(p)
+    p.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[128, 256, 512, 1024, 2048, 4096, 8192],
+        help="cache sizes in bytes",
+    )
+    p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser("stats", help="static analysis census")
+    _source_argument(p)
+    _config_arguments(p)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("dot", help="emit the CFG as Graphviz DOT")
+    _source_argument(p)
+    _config_arguments(p)
+    p.add_argument("--function", default=None, help="only this function")
+    p.set_defaults(func=cmd_dot)
+
+    p = sub.add_parser("list", help="list the benchmark programs")
+    p.set_defaults(func=cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; exit quietly like other CLIs.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

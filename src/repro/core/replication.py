@@ -1,0 +1,488 @@
+"""The code-replication engine (steps 2–6 of the JUMPS algorithm).
+
+Given an unconditional jump at the end of a block, the engine:
+
+* selects a replacement sequence of blocks (step 2; two options — "favoring
+  returns" and "favoring loops" — arbitrated by a policy heuristic),
+* completes natural loops entered by the sequence (step 3, Figure 1),
+* copies the sequence after the jump block and adjusts the control flow:
+  intra-sequence jumps vanish into fall-throughs, conditional branches are
+  reversed when the copy does not follow the fall-through transition, and
+  duplicate occurrences prefer forward branches (step 4),
+* retargets conditional branches of uncopied blocks of a partially copied
+  loop to the copies (step 5, Figure 2),
+* verifies that the flow graph is still reducible and rolls the replication
+  back otherwise, retrying with the alternative sequence (step 6).
+
+The same engine implements the paper's LOOPS configuration (classic
+replication of loop termination conditions) by restricting the admissible
+sequences; see :class:`ReplicationMode`.
+
+Loop completion (step 3), as implemented here, triggers when a collected
+block is a natural-loop header entered from outside the loop *and* partial
+replication would leave the original loop with a second entry point.  When
+the consumed jump was the loop's only external entry the loop simply
+rotates (the common for/while rotation of §3.1) and no completion is
+needed; the reducibility check of step 6 backs this heuristic up.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..cfg.block import BasicBlock, Function
+from ..cfg.graph import compute_flow
+from ..cfg.loops import Loop, LoopInfo, find_loops
+from ..cfg.reducibility import is_reducible
+from ..rtl.insn import CondBranch, IndirectJump, Jump, Return
+from .shortest_path import ShortestPathMatrix
+
+__all__ = [
+    "ReplicationMode",
+    "Policy",
+    "ReplicationStats",
+    "CodeReplicator",
+    "clone_function",
+]
+
+
+class ReplicationMode(enum.Enum):
+    """Which configuration of the paper is being run."""
+
+    JUMPS = "jumps"  # the generalized algorithm of §4
+    LOOPS = "loops"  # only loop termination conditions (§5, "LOOPS")
+
+
+class Policy(enum.Enum):
+    """Step-2 heuristic choosing between the two sequence options."""
+
+    SHORTEST = "shortest"  # fewest replicated RTLs first (minimal growth)
+    FAVOR_RETURNS = "returns"
+    FAVOR_LOOPS = "loops"
+
+
+class ReplicationStats:
+    """Counters describing what one engine run did."""
+
+    def __init__(self) -> None:
+        self.jumps_replaced = 0
+        self.rtls_replicated = 0
+        self.rollbacks = 0
+        self.jumps_kept = 0
+
+    def merge(self, other: "ReplicationStats") -> None:
+        self.jumps_replaced += other.jumps_replaced
+        self.rtls_replicated += other.rtls_replicated
+        self.rollbacks += other.rollbacks
+        self.jumps_kept += other.jumps_kept
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReplicationStats replaced={self.jumps_replaced} "
+            f"rtls={self.rtls_replicated} rollbacks={self.rollbacks} "
+            f"kept={self.jumps_kept}>"
+        )
+
+
+def clone_function(func: Function) -> Function:
+    """Deep-copy a function (blocks, instructions, frame layout)."""
+    copy = Function(func.name, func.params)
+    copy.frame = dict(func.frame)
+    copy.frame_size = func.frame_size
+    copy.blocks = [
+        BasicBlock(block.label, [insn.clone() for insn in block.insns])
+        for block in func.blocks
+    ]
+    compute_flow(copy)
+    return copy
+
+
+class CodeReplicator:
+    """Applies code replication to one function until no jump can be replaced."""
+
+    def __init__(
+        self,
+        mode: ReplicationMode = ReplicationMode.JUMPS,
+        policy: Policy = Policy.SHORTEST,
+        max_rtls: Optional[int] = None,
+        allow_irreducible: bool = False,
+        max_replications_per_function: int = 2000,
+        max_function_blocks: int = 4000,
+        jump_filter: Optional[
+            Callable[[Function, BasicBlock, Jump], bool]
+        ] = None,
+    ) -> None:
+        self.mode = mode
+        self.policy = policy
+        self.max_rtls = max_rtls
+        self.allow_irreducible = allow_irreducible
+        self.max_replications = max_replications_per_function
+        # Optional predicate deciding whether a particular jump should be
+        # replaced at all — the hook used by profile-guided replication.
+        self.jump_filter = jump_filter
+        # A safeguard against pathological cascades on adversarial flow
+        # graphs ("replication ad infinitum", §5.2): stop growing once the
+        # function reaches this many blocks.
+        self.max_function_blocks = max_function_blocks
+
+    # ------------------------------------------------------------------ driver
+
+    def run(self, func: Function) -> ReplicationStats:
+        """Replace unconditional jumps in ``func``; return statistics."""
+        stats = ReplicationStats()
+        budget = self.max_replications
+        progress = True
+        while progress and budget > 0:
+            if len(func.blocks) >= self.max_function_blocks:
+                break
+            progress = False
+            compute_flow(func)
+            matrix = ShortestPathMatrix(func)  # step 1
+            # Step 2: traverse the blocks sequentially.  The matrix stays
+            # valid across replacements within one sweep: replication only
+            # adds blocks, so recorded shortest paths remain intact.
+            position = 0
+            while position < len(func.blocks) and budget > 0:
+                block = func.blocks[position]
+                term = block.terminator
+                # The final, allow_irreducible invocation retries jumps that
+                # earlier passes flagged as unreplaceable (§5.1).
+                if isinstance(term, Jump) and (
+                    self.allow_irreducible or not term.no_replicate
+                ):
+                    if self._replace_jump(func, block, term, matrix, stats):
+                        progress = True
+                        budget -= 1
+                position += 1
+        return stats
+
+    # ----------------------------------------------------------- jump handling
+
+    def _replace_jump(
+        self,
+        func: Function,
+        block: BasicBlock,
+        jump: Jump,
+        matrix: ShortestPathMatrix,
+        stats: ReplicationStats,
+    ) -> bool:
+        if self.jump_filter is not None and not self.jump_filter(
+            func, block, jump
+        ):
+            return False
+        try:
+            target = func.block_by_label(jump.target)
+        except KeyError:
+            return False
+        if target is block:
+            # A jump to the start of its own block: an infinite loop.  The
+            # paper notes these provide no replacement opportunity.
+            return False
+        follow = func.next_block(block)
+        if id(target) not in matrix.index and target is not follow:
+            # The target was created by a replication during this sweep and
+            # is not in the matrix yet; retry with a fresh matrix next sweep.
+            return False
+
+        # A jump straight to the next block is simply redundant.
+        if target is follow:
+            block.insns.pop()
+            compute_flow(func)
+            stats.jumps_replaced += 1
+            return True
+
+        loops = find_loops(func)
+        for sequence, ends_by_fallthrough in self._candidate_sequences(
+            target, follow, matrix
+        ):
+            completed = self._complete_loops(func, block, sequence, loops)
+            if completed is None:
+                continue
+            if (
+                self.max_rtls is not None
+                and sum(b.size() for b in completed) > self.max_rtls
+            ):
+                continue
+            if not self._admissible(block, completed, follow, loops, ends_by_fallthrough):
+                continue
+            undo = self._apply(
+                func, block, completed, follow, ends_by_fallthrough, loops
+            )
+            if self.allow_irreducible or is_reducible(func):
+                stats.jumps_replaced += 1
+                stats.rtls_replicated += sum(b.size() for b in completed)
+                return True
+            undo()  # step 6: roll back and try the alternative sequence
+            stats.rollbacks += 1
+        jump.no_replicate = True
+        stats.jumps_kept += 1
+        return False
+
+    def _candidate_sequences(
+        self,
+        target: BasicBlock,
+        follow: Optional[BasicBlock],
+        matrix: ShortestPathMatrix,
+    ) -> List[Tuple[List[BasicBlock], bool]]:
+        """The (sequence, ends-by-falling-through) options, in policy order."""
+        to_return = matrix.shortest_sequence_to_return(target)
+        to_follow = (
+            matrix.shortest_sequence_to_fallthrough(target, follow)
+            if follow is not None
+            else None
+        )
+        options: List[Tuple[List[BasicBlock], bool]] = []
+        if to_return is not None:
+            options.append((to_return, False))
+        if to_follow is not None:
+            options.append((to_follow, True))
+        if len(options) == 2:
+            if self.policy is Policy.SHORTEST:
+                options.sort(key=lambda item: sum(b.size() for b in item[0]))
+            elif self.policy is Policy.FAVOR_RETURNS:
+                options.sort(key=lambda item: item[1])
+            else:  # Policy.FAVOR_LOOPS
+                options.sort(key=lambda item: not item[1])
+        return options
+
+    def _admissible(
+        self,
+        block: BasicBlock,
+        sequence: List[BasicBlock],
+        follow: Optional[BasicBlock],
+        loops: LoopInfo,
+        ends_by_fallthrough: bool,
+    ) -> bool:
+        """Mode restriction: LOOPS only replicates loop termination tests."""
+        if self.mode is ReplicationMode.JUMPS:
+            return True
+        # LOOPS: a single block, ending in a conditional branch, that is the
+        # test of a natural loop adjacent to the jump — i.e. the jump either
+        # precedes the loop (rotating a for/while loop) or sits at the end of
+        # the loop (moving the test to the bottom).
+        if not ends_by_fallthrough or len(sequence) != 1:
+            return False
+        test = sequence[0]
+        if not test.ends_in_cond_branch():
+            return False
+        for loop in loops.loops_containing(test):
+            if block in loop.blocks:
+                return True  # the jump is the loop's back edge
+            if follow is not None and follow in loop.blocks:
+                return True  # the jump precedes the loop, falling into it
+        return False
+
+    # ------------------------------------------------------------ step 3: loops
+
+    def _complete_loops(
+        self,
+        func: Function,
+        jump_block: BasicBlock,
+        sequence: Sequence[BasicBlock],
+        loops: LoopInfo,
+    ) -> Optional[List[BasicBlock]]:
+        """Step 3: pull whole natural loops into the sequence (Figure 1)."""
+        result: List[BasicBlock] = []
+        previous = jump_block
+        index = 0
+        items = list(sequence)
+        while index < len(items):
+            collected = items[index]
+            loop = loops.loop_with_header(collected)
+            if (
+                loop is not None
+                and previous not in loop.blocks
+                and self._completion_needed(collected, loop, jump_block, index == 0)
+            ):
+                members = loop.members_in_layout_order(func)
+                # The copied control flow must still *enter* at the collected
+                # header, so rotate the positional order to start there.
+                start = next(i for i, m in enumerate(members) if m is collected)
+                members = members[start:] + members[:start]
+                result.extend(members)
+                index += 1
+                # Path blocks inside the loop are already part of the splice.
+                while index < len(items) and items[index] in loop.blocks:
+                    index += 1
+                previous = members[-1]
+                continue
+            result.append(collected)
+            previous = collected
+            index += 1
+            if len(result) > 4 * len(func.blocks) + 8:
+                return None  # pathological growth; refuse this sequence
+        return result
+
+    @staticmethod
+    def _completion_needed(
+        header: BasicBlock, loop: Loop, jump_block: BasicBlock, first: bool
+    ) -> bool:
+        """Does partial replication leave the original loop with two entries?
+
+        For a mid-sequence header the original entry edges are untouched, so
+        the copy's residual edges into the loop always add a second entry:
+        complete.  For the *first* collected block the jump edge itself is
+        consumed; if that was the only entry from outside, the loop merely
+        rotates and no completion is required (the for/while rotation case
+        of §3.1).
+        """
+        if not first:
+            return True
+        external_preds = [
+            pred
+            for pred in header.preds
+            if pred not in loop.blocks and pred is not jump_block
+        ]
+        return bool(external_preds)
+
+    # --------------------------------------------------- steps 4/5: application
+
+    def _apply(
+        self,
+        func: Function,
+        jump_block: BasicBlock,
+        sequence: List[BasicBlock],
+        follow: Optional[BasicBlock],
+        ends_by_fallthrough: bool,
+        loops: LoopInfo,
+    ) -> Callable[[], None]:
+        """Copy ``sequence`` after ``jump_block`` and rewire the control flow.
+
+        Returns an ``undo`` callable restoring the function exactly, used by
+        the step-6 reducibility rollback.
+        """
+        removed_jump = jump_block.insns.pop()  # the unconditional jump
+        copies = [BasicBlock(func.new_label()) for _ in sequence]
+
+        def map_target(position: int, original: BasicBlock) -> str:
+            """Step 4/5 target mapping: nearest forward copy first, then the
+            nearest backward copy (loop back edges), then the original."""
+            for j in range(position + 1, len(sequence)):
+                if sequence[j] is original:
+                    return copies[j].label
+            for j in range(position, -1, -1):
+                if sequence[j] is original:
+                    return copies[j].label
+            return original.label
+
+        new_blocks: List[BasicBlock] = []
+        for position, (original, copy) in enumerate(zip(sequence, copies)):
+            term = original.terminator
+            body = original.insns[:-1] if term is not None else original.insns
+            copy.insns.extend(insn.clone() for insn in body)
+            if position + 1 < len(copies):
+                next_label: Optional[str] = copies[position + 1].label
+            elif ends_by_fallthrough and follow is not None:
+                next_label = follow.label
+            else:
+                next_label = None
+            stub = self._finish_copy(
+                func, original, copy, term, position, next_label, map_target
+            )
+            new_blocks.append(copy)
+            if stub is not None:
+                new_blocks.append(stub)
+
+        insert_at = func.block_index(jump_block) + 1
+        func.blocks[insert_at:insert_at] = new_blocks
+
+        # Step 5: retarget conditional branches of uncopied blocks of a
+        # partially copied loop to the copies (Figure 2).
+        retargets: List[Tuple[CondBranch, str]] = []
+        jump_loop = loops.innermost_loop_of(jump_block)
+        if jump_loop is not None:
+            copied_in_loop = {}
+            for i, original in enumerate(sequence):
+                if original in jump_loop.blocks and id(original) not in copied_in_loop:
+                    copied_in_loop[id(original)] = copies[i].label
+            for member in jump_loop.blocks:
+                if member is jump_block or any(member is b for b in sequence):
+                    continue
+                term = member.terminator
+                if isinstance(term, CondBranch):
+                    try:
+                        dest = func.block_by_label(term.target)
+                    except KeyError:
+                        continue
+                    new_label = copied_in_loop.get(id(dest))
+                    if new_label is not None:
+                        retargets.append((term, term.target))
+                        term.target = new_label
+        compute_flow(func)
+
+        def undo() -> None:
+            del func.blocks[insert_at : insert_at + len(new_blocks)]
+            jump_block.insns.append(removed_jump)
+            for branch, old_target in retargets:
+                branch.target = old_target
+            compute_flow(func)
+
+        return undo
+
+    def _finish_copy(
+        self,
+        func: Function,
+        original: BasicBlock,
+        copy: BasicBlock,
+        term,
+        position: int,
+        next_label: Optional[str],
+        map_target: Callable[[int, BasicBlock], str],
+    ) -> Optional[BasicBlock]:
+        """Append the rewritten terminator to ``copy`` (step 4).
+
+        ``next_label`` is the label of the block that will positionally
+        follow the copy.  Returns an extra stub block when the copy needs
+        both a conditional branch and an unconditional jump (possible only
+        for spliced loop members whose layout neighbours were not copied).
+        """
+        if term is None:
+            # The original fell through to its positional successor.
+            dest = func.next_block(original)
+            assert dest is not None, f"{original.label} falls off the function end"
+            mapped = map_target(position, dest)
+            if mapped != next_label:
+                copy.insns.append(Jump(mapped))
+            return None
+        if isinstance(term, Return):
+            copy.insns.append(term.clone())
+            return None
+        if isinstance(term, Jump):
+            mapped = map_target(position, func.block_by_label(term.target))
+            if mapped != next_label:
+                # Cannot fall through (e.g. a completed loop's back edge):
+                # keep an explicit jump; a later sweep may replace it too.
+                copy.insns.append(Jump(mapped))
+            return None
+        if isinstance(term, CondBranch):
+            taken = func.block_by_label(term.target)
+            fall = func.next_block(original)
+            assert fall is not None
+            mapped_taken = map_target(position, taken)
+            mapped_fall = map_target(position, fall)
+            if mapped_fall == next_label:
+                copy.insns.append(CondBranch(term.rel, mapped_taken))
+                return None
+            if mapped_taken == next_label:
+                # Step 4: reverse the branch when the copied path follows the
+                # branch-taken transition instead of the fall-through.
+                reversed_branch = term.clone()
+                reversed_branch.reverse(mapped_fall)
+                copy.insns.append(reversed_branch)
+                return None
+            copy.insns.append(CondBranch(term.rel, mapped_taken))
+            return BasicBlock(func.new_label(), [Jump(mapped_fall)])
+        if isinstance(term, IndirectJump):
+            # Shortest paths never route *through* an indirect jump (step 1
+            # excludes its edges), but loop completion may pull one in as a
+            # loop member.  Copying it is safe: the jump table's labels map
+            # like any other target (the §6 future-work extension notes
+            # "the jump destinations do not need to be copied").
+            mapped_targets = [
+                map_target(position, func.block_by_label(t))
+                for t in term.targets
+            ]
+            copy.insns.append(IndirectJump(term.addr, mapped_targets))
+            return None
+        raise AssertionError(f"cannot replicate terminator {term!r}")

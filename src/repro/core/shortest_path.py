@@ -1,0 +1,145 @@
+"""Step 1 of JUMPS: the shortest-path matrix over basic blocks.
+
+The paper finds the replacement for an unconditional jump by following the
+*shortest path* in the control-flow graph, where the length of a path is the
+number of RTLs in the traversed blocks.  All-pairs shortest paths are
+computed with the Floyd/Warshall algorithm ([Wa62], [Fl62] in the paper);
+the matrix is computed once per invocation of JUMPS and then used for every
+lookup without recalculation.
+
+Conventions:
+
+* ``dist(u, v)`` is the minimum total number of RTLs over all paths from
+  ``u`` to ``v``, counting the RTLs of *both* endpoints and of every block
+  in between.  ``dist(u, u)`` is not defined (the relation is kept
+  non-reflexive, as in the paper).
+* Self edges are excluded; blocks ending in an indirect jump contribute no
+  outgoing edges ("the replication of indirect jumps has not yet been
+  implemented", §4) — and they also cannot appear in the middle of a
+  replication sequence because they never fall through.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..cfg.block import BasicBlock, Function
+
+__all__ = ["ShortestPathMatrix"]
+
+_INF = float("inf")
+
+
+class ShortestPathMatrix:
+    """All-pairs shortest paths between basic blocks, weighted by RTL count."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.blocks: List[BasicBlock] = list(func.blocks)
+        self.index = {id(block): i for i, block in enumerate(self.blocks)}
+        n = len(self.blocks)
+        sizes = np.array([block.size() for block in self.blocks], dtype=np.float64)
+        self._sizes = sizes
+
+        dist = np.full((n, n), _INF, dtype=np.float64)
+        # nxt[i, j] = index of the block following i on the shortest path to j.
+        nxt = np.full((n, n), -1, dtype=np.int64)
+
+        for i, block in enumerate(self.blocks):
+            if block.ends_in_indirect_jump():
+                continue  # excluded transitions (paper, step 1)
+            for succ in block.succs:
+                j = self.index.get(id(succ))
+                if j is None or j == i:
+                    continue  # self-reflexive transitions are excluded
+                weight = sizes[i] + sizes[j]
+                if weight < dist[i, j]:
+                    dist[i, j] = weight
+                    nxt[i, j] = j
+
+        # Floyd/Warshall, vectorized over the (i, j) plane for each pivot k.
+        # Intermediate block k is counted once: dist[i,k] + dist[k,j] counts
+        # it twice, so subtract its size.
+        for k in range(n):
+            through_k = dist[:, k, None] + dist[None, k, :] - sizes[k]
+            better = through_k < dist
+            if better.any():
+                dist = np.where(better, through_k, dist)
+                nxt = np.where(better, nxt[:, k, None], nxt)
+        self._dist = dist
+        self._next = nxt
+
+    # --- queries --------------------------------------------------------------
+
+    def dist(self, src: BasicBlock, dst: BasicBlock) -> float:
+        """Total RTLs on the shortest path from ``src`` to ``dst`` (inclusive)."""
+        i = self.index.get(id(src))
+        j = self.index.get(id(dst))
+        if i is None or j is None or i == j:
+            return _INF
+        return float(self._dist[i, j])
+
+    def path(self, src: BasicBlock, dst: BasicBlock) -> Optional[List[BasicBlock]]:
+        """The blocks of the shortest path ``src .. dst`` inclusive, or None."""
+        i = self.index.get(id(src))
+        j = self.index.get(id(dst))
+        if i is None or j is None or i == j or self._dist[i, j] == _INF:
+            return None
+        path = [self.blocks[i]]
+        guard = 0
+        while i != j:
+            i = int(self._next[i, j])
+            if i < 0:
+                return None
+            path.append(self.blocks[i])
+            guard += 1
+            if guard > len(self.blocks):
+                raise RuntimeError("shortest-path reconstruction cycled")
+        return path
+
+    def shortest_sequence_to_return(
+        self, start: BasicBlock
+    ) -> Optional[List[BasicBlock]]:
+        """Option A of step 2: cheapest block sequence from ``start`` ending
+        in a return from the routine ("favoring returns")."""
+        if start.ends_in_return():
+            return [start]
+        i = self.index.get(id(start))
+        if i is None:
+            return None
+        best_j = -1
+        best = _INF
+        for j, block in enumerate(self.blocks):
+            if j == i or not block.ends_in_return():
+                continue
+            if self._dist[i, j] < best:
+                best = self._dist[i, j]
+                best_j = j
+        if best_j < 0:
+            return None
+        return self.path(start, self.blocks[best_j])
+
+    def shortest_sequence_to_fallthrough(
+        self, start: BasicBlock, follow: BasicBlock
+    ) -> Optional[List[BasicBlock]]:
+        """Option B of step 2: cheapest sequence from ``start`` whose last
+        block has an edge to ``follow`` ("favoring loops").  ``follow`` itself
+        is *not* part of the sequence — the copy will fall through into it."""
+        if any(succ is follow for succ in start.succs) and not (
+            start.ends_in_indirect_jump() or start is follow
+        ):
+            direct: Optional[List[BasicBlock]] = [start]
+        else:
+            direct = None
+        path = self.path(start, follow)
+        via_matrix = path[:-1] if path is not None and len(path) > 1 else None
+        candidates = [c for c in (direct, via_matrix) if c is not None]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda seq: sum(b.size() for b in seq))
+
+    @staticmethod
+    def sequence_cost(sequence: Sequence[BasicBlock]) -> int:
+        return sum(block.size() for block in sequence)

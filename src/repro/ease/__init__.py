@@ -1,0 +1,26 @@
+"""EASE-like measurement: RTL interpreter, runtime, and counting."""
+
+from .interp import ExecutionResult, Interpreter, MachineState, StepLimitExceeded
+from .measure import Measurement, measure_program
+from .pipeline import (
+    PipelineModel,
+    PipelineResult,
+    measure_pipeline,
+    pipeline_cost,
+)
+from .runtime import ProgramExit, is_builtin
+
+__all__ = [
+    "ExecutionResult",
+    "Interpreter",
+    "MachineState",
+    "StepLimitExceeded",
+    "Measurement",
+    "measure_program",
+    "PipelineModel",
+    "PipelineResult",
+    "measure_pipeline",
+    "pipeline_cost",
+    "ProgramExit",
+    "is_builtin",
+]

@@ -1,0 +1,132 @@
+"""EASE-style measurement: static/dynamic counts and fetch-address layout.
+
+This is the counting half of the EASE substitute.  Given an (optimized)
+program and a target machine:
+
+* every instruction gets a byte address (functions and blocks laid out in
+  positional order with the target's size model);
+* a run of the interpreter yields per-block execution counts and,
+  optionally, a block trace;
+* counts are weighted by ``Machine.insn_count`` (an RTL that stands for a
+  sethi/or pair counts as two instructions, as on the real SPARC).
+
+The statistics mirror what the paper reports: total instructions (Table
+5), unconditional-jump counts (Table 4), no-ops executed and instructions
+between branches (§5.2), and the fetch-address stream for the cache
+simulations (Table 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cfg.block import Program
+from ..rtl.insn import Call, CondBranch, IndirectJump, Insn, Jump, Nop, Return
+from ..targets.machine import Machine
+from .interp import Interpreter
+
+__all__ = ["Measurement", "measure_program"]
+
+
+class Measurement:
+    """Counts from one measured run of a program."""
+
+    def __init__(self) -> None:
+        self.static_insns = 0
+        self.static_jumps = 0
+        self.static_nops = 0
+        self.code_bytes = 0
+        self.dynamic_insns = 0
+        self.dynamic_jumps = 0
+        self.dynamic_nops = 0
+        self.dynamic_branches = 0  # executed control transfers
+        self.output = b""
+        self.exit_code = 0
+        # Per-global-block-id instruction fetch addresses (one entry per
+        # machine instruction fetched when the block executes).
+        self.block_fetches: Dict[int, List[int]] = {}
+        self.trace: Optional[List[int]] = None
+
+    @property
+    def insns_between_branches(self) -> float:
+        """Average dynamic instructions per executed control transfer."""
+        if self.dynamic_branches == 0:
+            return float(self.dynamic_insns)
+        return self.dynamic_insns / self.dynamic_branches
+
+    def __repr__(self) -> str:
+        return (
+            f"<Measurement static={self.static_insns} "
+            f"dynamic={self.dynamic_insns} jumps={self.dynamic_jumps}>"
+        )
+
+
+def _is_transfer_for_stats(insn: Insn) -> bool:
+    return isinstance(insn, (Jump, CondBranch, Return, IndirectJump, Call))
+
+
+def measure_program(
+    program: Program,
+    target: Machine,
+    stdin: bytes = b"",
+    trace: bool = False,
+    interpreter: Optional[Interpreter] = None,
+    max_steps: int = 200_000_000,
+) -> Measurement:
+    """Run ``program`` and measure it with the target's size/count model."""
+    measurement = Measurement()
+    interp = interpreter or Interpreter(program, max_steps=max_steps)
+
+    # --- static layout ---------------------------------------------------------
+    address = 0x1000
+    block_weights: Dict[int, Tuple[int, int, int, int]] = {}
+    for func in program.functions.values():
+        for index, block in enumerate(func.blocks):
+            fetches: List[int] = []
+            insn_weight = 0
+            jumps = 0
+            nops = 0
+            branches = 0
+            for insn in block.insns:
+                count = target.insn_count(insn)
+                size = target.insn_size(insn)
+                measurement.static_insns += count
+                if isinstance(insn, Jump):
+                    measurement.static_jumps += 1
+                    jumps += 1
+                if isinstance(insn, Nop):
+                    measurement.static_nops += 1
+                    nops += 1
+                if _is_transfer_for_stats(insn):
+                    branches += 1
+                insn_weight += count
+                # One fetch per machine instruction the RTL stands for.
+                step = size // max(1, count)
+                for k in range(count):
+                    fetches.append(address + k * step)
+                address += size
+            global_id = interp.global_block_id(func.name, index)
+            measurement.block_fetches[global_id] = fetches
+            block_weights[global_id] = (insn_weight, jumps, nops, branches)
+            # Indirect-jump tables occupy data space after the block.
+            term = block.terminator
+            if isinstance(term, IndirectJump):
+                address += 4 * len(term.targets)
+        address = (address + 15) & ~15  # align functions
+    measurement.code_bytes = address - 0x1000
+
+    # --- dynamic run --------------------------------------------------------------
+    result = interp.run(stdin=stdin, trace=trace)
+    measurement.output = result.output
+    measurement.exit_code = result.exit_code
+    if trace:
+        measurement.trace = result.trace
+
+    for (func_name, block_index), count in result.block_counts.items():
+        global_id = interp.global_block_id(func_name, block_index)
+        weight, jumps, nops, branches = block_weights[global_id]
+        measurement.dynamic_insns += weight * count
+        measurement.dynamic_jumps += jumps * count
+        measurement.dynamic_nops += nops * count
+        measurement.dynamic_branches += branches * count
+    return measurement

@@ -1,0 +1,22 @@
+"""The mini-C front-end: lexer, parser, AST, and RTL code generation."""
+
+from .codegen import BUILTINS, compile_c
+from .errors import CompileError
+from .lexer import Token, tokenize
+from .parser import parse
+from .types import CHAR, INT, VOID, Type, array_of, ptr
+
+__all__ = [
+    "BUILTINS",
+    "compile_c",
+    "CompileError",
+    "Token",
+    "tokenize",
+    "parse",
+    "CHAR",
+    "INT",
+    "VOID",
+    "Type",
+    "array_of",
+    "ptr",
+]

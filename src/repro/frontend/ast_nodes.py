@@ -1,0 +1,320 @@
+"""AST nodes for the mini-C dialect.
+
+Plain dataclasses; positions (line numbers) ride along for diagnostics.
+Expression nodes are annotated with their :class:`~repro.frontend.types.Type`
+by the code generator as it walks the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .types import Type
+
+__all__ = [
+    # expressions
+    "Expr",
+    "IntLit",
+    "StrLit",
+    "Ident",
+    "Unary",
+    "Binary",
+    "AssignExpr",
+    "Ternary",
+    "CallExpr",
+    "Index",
+    "Deref",
+    "AddrOf",
+    "IncDec",
+    # statements
+    "Stmt",
+    "ExprStmt",
+    "Block",
+    "If",
+    "While",
+    "DoWhile",
+    "For",
+    "Return",
+    "Break",
+    "Continue",
+    "Goto",
+    "Label",
+    "Switch",
+    "Case",
+    "VarDecl",
+    # top level
+    "Param",
+    "FuncDef",
+    "GlobalDecl",
+    "TranslationUnit",
+]
+
+
+@dataclass
+class Expr:
+    """Base class of expression nodes."""
+
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    """An integer (or character) literal."""
+
+    value: int = 0
+
+
+@dataclass
+class StrLit(Expr):
+    """A string literal."""
+
+    value: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    """A variable or function name."""
+
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    """A unary operator application: ``- ! ~``."""
+
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    """A binary operator application (including ``&&``/``||``)."""
+
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class AssignExpr(Expr):
+    """Assignment or compound assignment (``=``, ``+=``, ...)."""
+
+    op: str = "="  # "=", "+=", "-=", ...
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Ternary(Expr):
+    """The conditional expression ``cond ? then : otherwise``."""
+
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    otherwise: Optional[Expr] = None
+
+
+@dataclass
+class CallExpr(Expr):
+    """A function call."""
+
+    func: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    """Array/pointer subscription ``base[index]``."""
+
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Deref(Expr):
+    """Pointer dereference ``*operand``."""
+
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class AddrOf(Expr):
+    """Address-of ``&operand``."""
+
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class IncDec(Expr):
+    """``++``/``--``, prefix or postfix."""
+
+    op: str = "++"
+    target: Optional[Expr] = None
+    prefix: bool = True
+
+
+# --- statements ---------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class of statement nodes."""
+
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression statement (``expr;``), or ``;`` when empty."""
+
+    expr: Optional[Expr] = None  # None models the empty statement ";"
+
+
+@dataclass
+class Block(Stmt):
+    """A ``{ ... }`` compound statement."""
+
+    body: List[Stmt] = field(default_factory=list)
+    # False for synthetic groupings (e.g. "int i, j;") whose declarations
+    # belong to the *enclosing* scope.
+    scoped: bool = True
+
+
+@dataclass
+class If(Stmt):
+    """``if``/``else``."""
+
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    """A ``while`` loop."""
+
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    """A ``do ... while`` loop."""
+
+    body: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class For(Stmt):
+    """A ``for`` loop."""
+
+    init: Optional[Stmt] = None  # ExprStmt or VarDecl
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    """A ``return`` statement."""
+
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    """``break``."""
+
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    """``continue``."""
+
+    pass
+
+
+@dataclass
+class Goto(Stmt):
+    """``goto label;``."""
+
+    label: str = ""
+
+
+@dataclass
+class Label(Stmt):
+    """A statement label (``name: stmt``)."""
+
+    name: str = ""
+    stmt: Optional[Stmt] = None
+
+
+@dataclass
+class Case(Stmt):
+    """One ``case``/``default`` arm of a switch."""
+
+    value: Optional[int] = None  # None is "default"
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Switch(Stmt):
+    """A ``switch`` statement."""
+
+    scrutinee: Optional[Expr] = None
+    cases: List[Case] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    """A local variable declaration, possibly initialized."""
+
+    name: str = ""
+    var_type: Optional[Type] = None
+    init: Optional[Expr] = None
+    init_list: Optional[List[Expr]] = None  # array initializers
+    init_string: Optional[str] = None  # char buf[] = "text";
+
+
+# --- top level ------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    """A function parameter."""
+
+    name: str
+    param_type: Type
+
+
+@dataclass
+class FuncDef:
+    """A function definition."""
+
+    name: str
+    return_type: Type
+    params: List[Param]
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    """A file-scope variable declaration."""
+
+    name: str
+    var_type: Type
+    init: Optional[Expr] = None
+    init_list: Optional[List[Expr]] = None
+    init_string: Optional[str] = None  # char g[] = "text";
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    """A whole parsed source file."""
+
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)

@@ -1,0 +1,18 @@
+"""Front-end diagnostics."""
+
+from __future__ import annotations
+
+__all__ = ["CompileError"]
+
+
+class CompileError(Exception):
+    """A mini-C compilation error with source position."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        if line:
+            super().__init__(f"line {line}:{column}: {message}")
+        else:
+            super().__init__(message)

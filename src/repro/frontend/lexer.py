@@ -1,0 +1,228 @@
+"""Lexer for the mini-C dialect.
+
+Tokens carry their source position for diagnostics.  The dialect covers
+what the benchmark suite needs: the usual operators (including compound
+assignment and ``++``/``--``), ``/* */`` and ``//`` comments, character
+literals with escapes, and string literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .errors import CompileError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "char",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "do",
+        "return",
+        "break",
+        "continue",
+        "goto",
+        "switch",
+        "case",
+        "default",
+        "sizeof",
+    }
+)
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "<<",
+    ">>",
+    "->",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "~",
+    "&",
+    "|",
+    "^",
+    "?",
+    ":",
+    ";",
+    ",",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+]
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "b": "\b",
+    "f": "\f",
+}
+
+
+@dataclass
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str  # "ident", "keyword", "number", "char", "string", "op", "eof"
+    text: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _decode_escape(text: str, index: int, line: int, col: int) -> (str, int):
+    ch = text[index]
+    if ch != "\\":
+        return ch, index + 1
+    index += 1
+    if index >= len(text):
+        raise CompileError("unterminated escape", line, col)
+    esc = text[index]
+    if esc in _ESCAPES:
+        return _ESCAPES[esc], index + 1
+    if esc == "x":
+        digits = ""
+        index += 1
+        while index < len(text) and text[index] in "0123456789abcdefABCDEF":
+            digits += text[index]
+            index += 1
+        if not digits:
+            raise CompileError("bad hex escape", line, col)
+        return chr(int(digits, 16) & 0xFF), index
+    if esc.isdigit():
+        digits = esc
+        index += 1
+        while index < len(text) and text[index].isdigit() and len(digits) < 3:
+            digits += text[index]
+            index += 1
+        return chr(int(digits, 8) & 0xFF), index
+    raise CompileError(f"unknown escape \\{esc}", line, col)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``; raises :class:`CompileError` on bad input."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while pos < n:
+        ch = source[pos]
+        col = pos - line_start + 1
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            while pos < n and source[pos] != "\n":
+                pos += 1
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise CompileError("unterminated comment", line, col)
+            line += source.count("\n", pos, end)
+            nl = source.rfind("\n", pos, end)
+            if nl >= 0:
+                line_start = nl + 1
+            pos = end + 2
+            continue
+        if ch.isdigit():
+            start = pos
+            if source.startswith("0x", pos) or source.startswith("0X", pos):
+                pos += 2
+                while pos < n and source[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+                value = int(source[start:pos], 16)
+            else:
+                while pos < n and source[pos].isdigit():
+                    pos += 1
+                text = source[start:pos]
+                value = int(text, 8) if text.startswith("0") and len(text) > 1 else int(text)
+            tokens.append(Token("number", source[start:pos], value, line, col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < n and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, text, line, col))
+            continue
+        if ch == "'":
+            pos += 1
+            if pos >= n:
+                raise CompileError("unterminated character literal", line, col)
+            value, pos = _decode_escape(source, pos, line, col)
+            if pos >= n or source[pos] != "'":
+                raise CompileError("unterminated character literal", line, col)
+            pos += 1
+            tokens.append(Token("char", value, ord(value), line, col))
+            continue
+        if ch == '"':
+            pos += 1
+            chars: List[str] = []
+            while pos < n and source[pos] != '"':
+                if source[pos] == "\n":
+                    raise CompileError("newline in string literal", line, col)
+                decoded, pos = _decode_escape(source, pos, line, col)
+                chars.append(decoded)
+            if pos >= n:
+                raise CompileError("unterminated string literal", line, col)
+            pos += 1
+            tokens.append(Token("string", "".join(chars), "".join(chars), line, col))
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("op", op, op, line, col))
+                pos += len(op)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", None, line, 1))
+    return tokens

@@ -1,0 +1,471 @@
+"""Recursive-descent parser for the mini-C dialect.
+
+Grammar highlights:
+
+* declarations: ``int x;``, ``char *p;``, ``int a[10];``, ``int m[8][8];``,
+  with scalar initializers, array initializer lists and string initializers
+  for ``char`` arrays;
+* all C statements the benchmark suite uses: ``if``/``else``, ``while``,
+  ``do``/``while``, ``for``, ``switch``/``case``/``default``, ``break``,
+  ``continue``, ``goto``/labels, ``return``, blocks;
+* full C expression precedence, including assignment and compound
+  assignment, ``?:``, ``||``/``&&``, bit operations, comparisons, shifts,
+  arithmetic, casts to scalar types, unary operators, ``++``/``--``,
+  indexing and calls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast_nodes as ast
+from .errors import CompileError
+from .lexer import Token, tokenize
+from .types import CHAR, INT, VOID, Type, array_of, ptr
+
+__all__ = ["parse"]
+
+# Binary operator precedence (C's), tightest last.
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # --- token plumbing -------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def at(self, text: str) -> bool:
+        token = self.peek()
+        return token.text == text and token.kind in ("op", "keyword")
+
+    def accept(self, text: str) -> bool:
+        if self.at(text):
+            self.next()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        token = self.peek()
+        if not self.at(text):
+            raise CompileError(
+                f"expected {text!r}, got {token.text!r}", token.line, token.column
+            )
+        return self.next()
+
+    def error(self, message: str) -> CompileError:
+        token = self.peek()
+        return CompileError(message, token.line, token.column)
+
+    # --- types ----------------------------------------------------------------
+
+    def at_type(self) -> bool:
+        return self.peek().kind == "keyword" and self.peek().text in (
+            "int",
+            "char",
+            "void",
+        )
+
+    def parse_base_type(self) -> Type:
+        token = self.next()
+        if token.text == "int":
+            base = INT
+        elif token.text == "char":
+            base = CHAR
+        elif token.text == "void":
+            base = VOID
+        else:
+            raise CompileError(f"expected a type, got {token.text!r}", token.line, token.column)
+        return base
+
+    def parse_declarator(self, base: Type) -> (str, Type):
+        while self.accept("*"):
+            base = ptr(base)
+        token = self.peek()
+        if token.kind != "ident":
+            raise self.error("expected an identifier in declaration")
+        name = self.next().text
+        dims: List[int] = []
+        while self.accept("["):
+            if self.at("]"):
+                dims.append(-1)  # size from initializer
+            else:
+                size_token = self.next()
+                if size_token.kind != "number":
+                    raise CompileError(
+                        "array dimensions must be integer literals",
+                        size_token.line,
+                        size_token.column,
+                    )
+                dims.append(int(size_token.value))
+            self.expect("]")
+        for dim in reversed(dims):
+            base = array_of(base, dim)
+        return name, base
+
+    # --- top level ---------------------------------------------------------------
+
+    def parse_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while self.peek().kind != "eof":
+            base = self.parse_base_type()
+            name, full = self.parse_declarator(base)
+            if self.at("("):
+                func = self.parse_function(name, full)
+                if func is not None:
+                    unit.functions.append(func)
+            else:
+                self.parse_global_tail(unit, name, full)
+        return unit
+
+    def parse_function(self, name: str, return_type: Type) -> ast.FuncDef:
+        line = self.peek().line
+        self.expect("(")
+        params: List[ast.Param] = []
+        if not self.at(")"):
+            if self.at("void") and self.peek(1).text == ")":
+                self.next()
+            else:
+                while True:
+                    base = self.parse_base_type()
+                    pname, ptype = self.parse_declarator(base)
+                    # Array parameters decay to pointers.
+                    params.append(ast.Param(pname, ptype.decay()))
+                    if not self.accept(","):
+                        break
+        self.expect(")")
+        if self.accept(";"):
+            return None  # a forward declaration (mutual recursion)
+        body = self.parse_block()
+        return ast.FuncDef(name, return_type, params, body, line)
+
+    def parse_global_tail(
+        self, unit: ast.TranslationUnit, name: str, var_type: Type
+    ) -> None:
+        line = self.peek().line
+        while True:
+            decl = ast.GlobalDecl(name, var_type, line=line)
+            if self.accept("="):
+                self.parse_initializer(decl)
+            unit.globals.append(decl)
+            if not self.accept(","):
+                break
+            base = self._strip_derived(var_type)
+            name, var_type = self.parse_declarator(base)
+        self.expect(";")
+
+    @staticmethod
+    def _strip_derived(t: Type) -> Type:
+        while t.base is not None:
+            t = t.base
+        return t
+
+    def parse_initializer(self, decl) -> None:
+        if self.at("{"):
+            self.next()
+            items: List[ast.Expr] = []
+            while not self.at("}"):
+                items.append(self.parse_conditional())
+                if not self.accept(","):
+                    break
+            self.expect("}")
+            decl.init_list = items
+        elif self.peek().kind == "string" and decl.var_type.kind == "array":
+            decl.init_string = self.next().value
+        else:
+            decl.init = self.parse_conditional()
+
+    # --- statements ------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        line = self.peek().line
+        self.expect("{")
+        body: List[ast.Stmt] = []
+        while not self.at("}"):
+            body.append(self.parse_statement())
+        self.expect("}")
+        return ast.Block(line, body)
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.peek()
+        line = token.line
+        if self.at("{"):
+            return self.parse_block()
+        if self.at_type():
+            return self.parse_local_decl()
+        if self.accept(";"):
+            return ast.ExprStmt(line, None)
+        if self.accept("if"):
+            self.expect("(")
+            cond = self.parse_expression()
+            self.expect(")")
+            then = self.parse_statement()
+            otherwise = self.parse_statement() if self.accept("else") else None
+            return ast.If(line, cond, then, otherwise)
+        if self.accept("while"):
+            self.expect("(")
+            cond = self.parse_expression()
+            self.expect(")")
+            return ast.While(line, cond, self.parse_statement())
+        if self.accept("do"):
+            body = self.parse_statement()
+            self.expect("while")
+            self.expect("(")
+            cond = self.parse_expression()
+            self.expect(")")
+            self.expect(";")
+            return ast.DoWhile(line, body, cond)
+        if self.accept("for"):
+            self.expect("(")
+            init: Optional[ast.Stmt] = None
+            if not self.at(";"):
+                if self.at_type():
+                    init = self.parse_local_decl()
+                else:
+                    init = ast.ExprStmt(line, self.parse_expression())
+                    self.expect(";")
+            else:
+                self.next()
+            cond = None if self.at(";") else self.parse_expression()
+            self.expect(";")
+            step = None if self.at(")") else self.parse_expression()
+            self.expect(")")
+            return ast.For(line, init, cond, step, self.parse_statement())
+        if self.accept("return"):
+            value = None if self.at(";") else self.parse_expression()
+            self.expect(";")
+            return ast.Return(line, value)
+        if self.accept("break"):
+            self.expect(";")
+            return ast.Break(line)
+        if self.accept("continue"):
+            self.expect(";")
+            return ast.Continue(line)
+        if self.accept("goto"):
+            label = self.next()
+            if label.kind != "ident":
+                raise CompileError("goto needs a label", label.line, label.column)
+            self.expect(";")
+            return ast.Goto(line, label.text)
+        if self.accept("switch"):
+            return self.parse_switch(line)
+        if (
+            token.kind == "ident"
+            and self.peek(1).text == ":"
+            and self.peek(1).kind == "op"
+        ):
+            name = self.next().text
+            self.next()  # ':'
+            return ast.Label(line, name, self.parse_statement())
+        expr = self.parse_expression()
+        self.expect(";")
+        return ast.ExprStmt(line, expr)
+
+    def parse_local_decl(self) -> ast.Stmt:
+        line = self.peek().line
+        base = self.parse_base_type()
+        decls: List[ast.Stmt] = []
+        while True:
+            name, var_type = self.parse_declarator(base)
+            decl = ast.VarDecl(line, name, var_type)
+            if self.accept("="):
+                self.parse_initializer(decl)
+            decls.append(decl)
+            if not self.accept(","):
+                break
+        self.expect(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(line, decls, scoped=False)
+
+    def parse_switch(self, line: int) -> ast.Switch:
+        self.expect("(")
+        scrutinee = self.parse_expression()
+        self.expect(")")
+        self.expect("{")
+        cases: List[ast.Case] = []
+        current: Optional[ast.Case] = None
+        while not self.at("}"):
+            if self.accept("case"):
+                token = self.next()
+                if token.kind == "number":
+                    value = int(token.value)
+                elif token.kind == "char":
+                    value = int(token.value)
+                elif token.kind == "op" and token.text == "-":
+                    negated = self.next()
+                    value = -int(negated.value)
+                else:
+                    raise CompileError(
+                        "case labels must be integer constants",
+                        token.line,
+                        token.column,
+                    )
+                self.expect(":")
+                current = ast.Case(token.line, value)
+                cases.append(current)
+                continue
+            if self.accept("default"):
+                self.expect(":")
+                current = ast.Case(line, None)
+                cases.append(current)
+                continue
+            if current is None:
+                raise self.error("statement before first case label")
+            current.body.append(self.parse_statement())
+        self.expect("}")
+        return ast.Switch(line, scrutinee, cases)
+
+    # --- expressions ------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        expr = self.parse_assignment()
+        while self.accept(","):
+            right = self.parse_assignment()
+            expr = ast.Binary(expr.line, ",", expr, right)
+        return expr
+
+    def parse_assignment(self) -> ast.Expr:
+        left = self.parse_conditional()
+        token = self.peek()
+        if token.kind == "op" and token.text in _ASSIGN_OPS:
+            self.next()
+            value = self.parse_assignment()
+            return ast.AssignExpr(token.line, token.text, left, value)
+        return left
+
+    def parse_conditional(self) -> ast.Expr:
+        cond = self.parse_binary(0)
+        if self.accept("?"):
+            then = self.parse_expression()
+            self.expect(":")
+            otherwise = self.parse_conditional()
+            return ast.Ternary(cond.line, cond, then, otherwise)
+        return cond
+
+    def parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self.parse_unary()
+        left = self.parse_binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while self.peek().kind == "op" and self.peek().text in ops:
+            op = self.next().text
+            right = self.parse_binary(level + 1)
+            left = ast.Binary(left.line, op, left, right)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        line = token.line
+        if self.accept("-"):
+            return ast.Unary(line, "-", self.parse_unary())
+        if self.accept("+"):
+            return self.parse_unary()
+        if self.accept("!"):
+            return ast.Unary(line, "!", self.parse_unary())
+        if self.accept("~"):
+            return ast.Unary(line, "~", self.parse_unary())
+        if self.accept("*"):
+            return ast.Deref(line, self.parse_unary())
+        if self.accept("&"):
+            return ast.AddrOf(line, self.parse_unary())
+        if self.accept("++"):
+            return ast.IncDec(line, "++", self.parse_unary(), True)
+        if self.accept("--"):
+            return ast.IncDec(line, "--", self.parse_unary(), True)
+        if self.accept("sizeof"):
+            self.expect("(")
+            base = self.parse_base_type()
+            while self.accept("*"):
+                base = ptr(base)
+            self.expect(")")
+            return ast.IntLit(line, base.size)
+        if (
+            self.at("(")
+            and self.peek(1).kind == "keyword"
+            and self.peek(1).text in ("int", "char")
+        ):
+            # A cast: types are all 32-bit-ish at expression level, so a
+            # cast only matters for chars, where we mask to 8 bits.
+            self.next()
+            base = self.parse_base_type()
+            is_ptr = False
+            while self.accept("*"):
+                is_ptr = True
+            self.expect(")")
+            operand = self.parse_unary()
+            if base.kind == "char" and not is_ptr:
+                return ast.Binary(line, "&", operand, ast.IntLit(line, 0xFF))
+            return operand
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.accept("["):
+                index = self.parse_expression()
+                self.expect("]")
+                expr = ast.Index(expr.line, expr, index)
+            elif self.at("(") and isinstance(expr, ast.Ident):
+                self.next()
+                args: List[ast.Expr] = []
+                if not self.at(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                expr = ast.CallExpr(expr.line, expr.name, args)
+            elif self.accept("++"):
+                expr = ast.IncDec(expr.line, "++", expr, False)
+            elif self.accept("--"):
+                expr = ast.IncDec(expr.line, "--", expr, False)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.next()
+        if token.kind == "number":
+            return ast.IntLit(token.line, int(token.value))
+        if token.kind == "char":
+            return ast.IntLit(token.line, int(token.value))
+        if token.kind == "string":
+            return ast.StrLit(token.line, token.value)
+        if token.kind == "ident":
+            return ast.Ident(token.line, token.text)
+        if token.text == "(":
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        raise CompileError(
+            f"unexpected token {token.text!r} in expression", token.line, token.column
+        )
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse mini-C source text into a translation unit."""
+    parser = _Parser(tokenize(source))
+    return parser.parse_unit()

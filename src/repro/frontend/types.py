@@ -1,0 +1,87 @@
+"""The mini-C type system.
+
+Small by design: ``int`` (32-bit signed), ``char`` (8-bit, unsigned when
+loaded), ``void`` (function returns only), pointers, and one- or
+two-dimensional arrays of ``int``/``char``.  Pointers are 32-bit byte
+addresses into the flat memory model of the interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Type", "INT", "CHAR", "VOID", "ptr", "array_of"]
+
+
+@dataclass(frozen=True)
+class Type:
+    """A mini-C type (int, char, void, pointer or array)."""
+
+    kind: str  # "int", "char", "void", "ptr", "array"
+    base: Optional["Type"] = None
+    length: int = 0  # arrays only
+
+    # --- size & classification -----------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Storage size in bytes."""
+        if self.kind == "int":
+            return 4
+        if self.kind == "char":
+            return 1
+        if self.kind == "ptr":
+            return 4
+        if self.kind == "array":
+            assert self.base is not None
+            return self.base.size * self.length
+        raise ValueError(f"type {self} has no size")
+
+    @property
+    def width(self) -> str:
+        """The RTL memory width used to load/store a value of this type."""
+        if self.kind == "char":
+            return "B"
+        return "L"
+
+    def is_scalar(self) -> bool:
+        """True for int/char/pointer values (assignable)."""
+        return self.kind in ("int", "char", "ptr")
+
+    def is_pointerish(self) -> bool:
+        """True for pointers and arrays (indexable)."""
+        return self.kind in ("ptr", "array")
+
+    def element(self) -> "Type":
+        """The pointee/element type of a pointer or array."""
+        assert self.base is not None, f"{self} has no element type"
+        return self.base
+
+    def decay(self) -> "Type":
+        """Arrays decay to pointers in value contexts."""
+        if self.kind == "array":
+            return Type("ptr", self.base)
+        return self
+
+    def __str__(self) -> str:
+        if self.kind == "ptr":
+            return f"{self.base}*"
+        if self.kind == "array":
+            return f"{self.base}[{self.length}]"
+        return self.kind
+
+
+INT = Type("int")
+CHAR = Type("char")
+VOID = Type("void")
+
+
+def ptr(base: Type) -> Type:
+    """The pointer type ``base*``."""
+    return Type("ptr", base)
+
+
+def array_of(base: Type, length: int) -> Type:
+    """The array type ``base[length]``."""
+    return Type("array", base, length)

@@ -1,0 +1,227 @@
+"""Constant folding — including folding at conditional branches (§3.3.1).
+
+Two entry points:
+
+* :func:`fold_constants` simplifies expressions everywhere (constant
+  arithmetic, algebraic identities, canonicalization of constants to the
+  right operand, multiplication by powers of two into shifts);
+* :func:`fold_branches` evaluates conditional branches whose compare has
+  constant operands.  A branch that always goes becomes an *unconditional
+  jump* — exactly the new replication opportunity the paper describes —
+  and a branch that never goes is deleted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cfg.block import Function
+from ..cfg.graph import compute_flow
+from ..rtl.arith import compare_relation, eval_binop, eval_unop
+from ..rtl.expr import BinOp, Const, Expr, Mem, Reg, UnOp, map_expr
+from ..rtl.insn import Assign, Compare, CondBranch, IndirectJump, Jump
+from .liveness import Liveness
+
+__all__ = ["fold_constants", "fold_branches", "simplify_expr"]
+
+_COMMUTATIVE = {"+", "*", "&", "|", "^"}
+
+
+def _power_of_two_log(value: int) -> Optional[int]:
+    if value > 0 and value & (value - 1) == 0:
+        return value.bit_length() - 1
+    return None
+
+
+def _simplify_node(expr: Expr) -> Expr:
+    """One-step simplification; children are already simplified."""
+    if isinstance(expr, UnOp) and isinstance(expr.operand, Const):
+        return Const(eval_unop(expr.op, expr.operand.value))
+    if not isinstance(expr, BinOp):
+        return expr
+    left, right, op = expr.left, expr.right, expr.op
+    if isinstance(left, Const) and isinstance(right, Const):
+        if op in ("/", "%") and right.value == 0:
+            return expr  # leave the trap in place
+        return Const(eval_binop(op, left.value, right.value))
+    # Canonicalize: constants to the right for commutative operators.
+    if op in _COMMUTATIVE and isinstance(left, Const):
+        left, right = right, left
+        expr = BinOp(op, left, right)
+    if isinstance(right, Const):
+        c = right.value
+        if op in ("+", "-") and c == 0:
+            return left
+        if op == "-":
+            # Normalize subtraction of a constant into addition; helps
+            # address-mode formation and re-association.
+            return _simplify_node(BinOp("+", left, Const(-c)))
+        if op == "*":
+            if c == 0:
+                return Const(0)
+            if c == 1:
+                return left
+            log = _power_of_two_log(c)
+            if log is not None and log > 0:
+                # Strength reduction: multiply by 2^k becomes a shift
+                # (kept as multiply-by-scale inside addresses, where the
+                # 68020 addressing mode wants it; see Machine.legal_addr).
+                return BinOp("*", left, right)
+        if op in ("<<", ">>") and c == 0:
+            return left
+        if op == "&" and c == 0:
+            return Const(0)
+        if op in ("|", "^") and c == 0:
+            return left
+        # Re-associate (x + c1) + c2 -> x + (c1 + c2).
+        if (
+            op == "+"
+            and isinstance(left, BinOp)
+            and left.op == "+"
+            and isinstance(left.right, Const)
+        ):
+            folded = eval_binop("+", left.right.value, c)
+            if folded == 0:
+                return left.left
+            return BinOp("+", left.left, Const(folded))
+    if op == "-" and left == right:
+        # x - x = 0: expressions are side-effect free, and two reads of the
+        # same location within one RTL observe the same value.
+        return Const(0)
+    return expr
+
+
+def simplify_expr(expr: Expr) -> Expr:
+    """Fully simplify an expression bottom-up."""
+    return map_expr(expr, _simplify_node)
+
+
+def fold_constants(func: Function) -> bool:
+    """Simplify every expression in ``func``; True if anything changed."""
+    changed = False
+    for block in func.blocks:
+        for insn in block.insns:
+            if isinstance(insn, Assign):
+                new_src = simplify_expr(insn.src)
+                if new_src != insn.src:
+                    insn.src = new_src
+                    changed = True
+                if isinstance(insn.dst, Mem):
+                    new_addr = simplify_expr(insn.dst.addr)
+                    if new_addr != insn.dst.addr:
+                        insn.dst = Mem(new_addr, insn.dst.width)
+                        changed = True
+            elif isinstance(insn, Compare):
+                new_left = simplify_expr(insn.left)
+                new_right = simplify_expr(insn.right)
+                if new_left != insn.left or new_right != insn.right:
+                    insn.left = new_left
+                    insn.right = new_right
+                    changed = True
+            elif isinstance(insn, IndirectJump):
+                new_addr = simplify_expr(insn.addr)
+                if new_addr != insn.addr:
+                    insn.addr = new_addr
+                    changed = True
+    return changed
+
+
+def _single_def_constants(func: Function):
+    """Registers whose only definition assigns a constant.
+
+    Returns ``{reg: (value, defining block, index within block)}``; the
+    value is valid at any use *dominated* by the definition.  This is the
+    global half of "constant folding at conditional branches": on the RISC
+    target legalization materializes comparison constants into registers,
+    so a purely syntactic Const/Const check would miss them.
+    """
+    from ..cfg.dominators import compute_dominators
+
+    def_counts = {}
+    for insn in func.insns():
+        reg = insn.defined_reg()
+        if reg is not None:
+            def_counts[reg] = def_counts.get(reg, 0) + 1
+    constants = {}
+    for block in func.blocks:
+        for index, insn in enumerate(block.insns):
+            if (
+                isinstance(insn, Assign)
+                and isinstance(insn.dst, Reg)
+                and isinstance(insn.src, Const)
+                and insn.dst.bank not in ("arg", "rv", "cc")
+                and def_counts.get(insn.dst) == 1
+            ):
+                constants[insn.dst] = (insn.src.value, block, index)
+    return constants, compute_dominators(func)
+
+
+def _resolve_constant(
+    operand, constants, dom, use_block, use_index
+) -> Optional[int]:
+    if isinstance(operand, Const):
+        return operand.value
+    if isinstance(operand, Reg):
+        entry = constants.get(operand)
+        if entry is None:
+            return None
+        value, def_block, def_index = entry
+        if def_block is use_block:
+            return value if def_index < use_index else None
+        if def_block in dom and use_block in dom and dom.dominates(def_block, use_block):
+            return value
+    return None
+
+
+def _constant_outcome(
+    compare: Compare, rel: str, constants, dom, block, index
+) -> Optional[bool]:
+    """The branch outcome when statically known, else ``None``."""
+    left = _resolve_constant(compare.left, constants, dom, block, index)
+    right = _resolve_constant(compare.right, constants, dom, block, index)
+    if left is not None and right is not None:
+        return compare_relation(rel, left, right)
+    if compare.left == compare.right:
+        # Identical side-effect-free operands: the difference is zero.
+        return compare_relation(rel, 0, 0)
+    return None
+
+
+def fold_branches(func: Function) -> bool:
+    """Fold conditional branches with statically known outcomes (§3.3.1)."""
+    changed = False
+    liveness = Liveness(func)
+    constants, dom = _single_def_constants(func)
+    for block in func.blocks:
+        term = block.terminator
+        if not isinstance(term, CondBranch):
+            continue
+        # Find the compare feeding the branch: the last Compare in the
+        # block, with no other NZ definition in between (Compare is the
+        # only NZ definer, so the last one wins).
+        compare = None
+        compare_index = -1
+        for offset, insn in enumerate(reversed(block.insns[:-1])):
+            if isinstance(insn, Compare):
+                compare = insn
+                compare_index = len(block.insns) - 2 - offset
+                break
+        if compare is None:
+            continue
+        outcome = _constant_outcome(
+            compare, term.rel, constants, dom, block, compare_index
+        )
+        if outcome is None:
+            continue
+        cc = compare.defined_reg()
+        if cc in liveness.block_live_out(block):
+            continue  # another consumer of the condition codes exists
+        block.insns.remove(compare)
+        if outcome:
+            block.insns[-1] = Jump(term.target)
+        else:
+            block.insns.pop()
+        changed = True
+    if changed:
+        compute_flow(func)
+    return changed

@@ -1,0 +1,67 @@
+"""Global copy propagation for single-definition registers.
+
+A restricted, safe global form: when ``x = y`` is the *only* definition of
+``x`` in the function, and ``y`` also has exactly one definition (and is
+therefore never overwritten), every use of ``x`` can read ``y`` directly.
+Chains resolve transitively.  The copies themselves become dead and are
+removed by dead-variable elimination.
+
+This matters after code replication: copies of invariant computations are
+hoisted as distinct registers holding the same value, and the per-replica
+register names would otherwise defeat the loop optimizations (the paper's
+§3.3.2 expects exactly this kind of cleanup from "common subexpression
+elimination" — VPO's CSE is global; ours is local CSE plus this pass).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..cfg.block import Function
+from ..rtl.expr import Reg
+from ..rtl.insn import Assign
+
+__all__ = ["propagate_copies"]
+
+
+def propagate_copies(func: Function) -> bool:
+    """Propagate single-def-to-single-def register copies; True if changed."""
+    def_counts: Dict[Reg, int] = {}
+    for insn in func.insns():
+        reg = insn.defined_reg()
+        if reg is not None:
+            def_counts[reg] = def_counts.get(reg, 0) + 1
+
+    mapping: Dict[Reg, Reg] = {}
+    for insn in func.insns():
+        if (
+            isinstance(insn, Assign)
+            and isinstance(insn.dst, Reg)
+            and isinstance(insn.src, Reg)
+            and insn.dst != insn.src
+            and insn.dst.bank == "v"
+            and insn.src.bank == "v"
+            and def_counts.get(insn.dst) == 1
+            and def_counts.get(insn.src) == 1
+        ):
+            mapping[insn.dst] = insn.src
+    if not mapping:
+        return False
+
+    def resolve(reg: Reg) -> Reg:
+        seen = set()
+        while reg in mapping and reg not in seen:
+            seen.add(reg)
+            reg = mapping[reg]
+        return reg
+
+    final = {x: resolve(x) for x in mapping}
+    final = {x: y for x, y in final.items() if x != y}
+    if not final:
+        return False
+    changed = False
+    for insn in func.insns():
+        if any(reg in final for reg in insn.used_regs()):
+            insn.substitute(dict(final))
+            changed = True
+    return changed

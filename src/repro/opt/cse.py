@@ -1,0 +1,202 @@
+"""Common-subexpression elimination by local value numbering.
+
+Each basic block is value-numbered: every computed expression gets a value
+number; expressions whose value is already held in a register are replaced
+by that register, constant values are substituted directly, and copies
+propagate.  Memory reads participate with an epoch that advances at every
+store or call (conservative aliasing), and a store forwards its value to
+subsequent loads of the same address.
+
+Replication makes this pass markedly more effective: copied sequences fall
+through into their surroundings and are merged into long straight-line
+blocks, so value numbering sees across what used to be a jump (the paper's
+§3.3.2, "Elimination of Instructions" — e.g. Table 1's folding of the
+initial assignment into the replicated loop header).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..cfg.block import BasicBlock, Function
+from ..rtl.arith import eval_binop, eval_unop
+from ..rtl.expr import BinOp, Const, Expr, Local, Mem, Reg, Sym, UnOp
+from ..rtl.insn import Assign, Call, Compare, IndirectJump, Insn
+from ..targets.machine import Machine
+
+__all__ = ["local_cse"]
+
+_COMMUTATIVE = {"+", "*", "&", "|", "^"}
+
+
+class _ValueTable:
+    """Value numbers for one basic block."""
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._by_key: Dict[tuple, int] = {}
+        self.reg_vn: Dict[Reg, int] = {}
+        self.vn_const: Dict[int, int] = {}
+        # vn -> register currently holding it (oldest wins, kept valid).
+        self.vn_reg: Dict[int, Reg] = {}
+        self.mem_epoch = 0
+
+    def fresh(self) -> int:
+        self._next += 1
+        return self._next
+
+    def of_key(self, key: tuple) -> int:
+        vn = self._by_key.get(key)
+        if vn is None:
+            vn = self.fresh()
+            self._by_key[key] = vn
+        return vn
+
+    def of_reg(self, reg: Reg) -> int:
+        vn = self.reg_vn.get(reg)
+        if vn is None:
+            vn = self.of_key(("reg-initial", reg))
+            self.reg_vn[reg] = vn
+            if vn not in self.vn_reg:
+                self.vn_reg[vn] = reg
+        return vn
+
+    def set_reg(self, reg: Reg, vn: int) -> None:
+        # Invalidate any stale "vn held by reg" claims.
+        old = self.reg_vn.get(reg)
+        if old is not None and self.vn_reg.get(old) == reg:
+            del self.vn_reg[old]
+        self.reg_vn[reg] = vn
+        self.vn_reg.setdefault(vn, reg)
+
+    def holder(self, vn: int) -> Optional[Reg]:
+        reg = self.vn_reg.get(vn)
+        if reg is not None and self.reg_vn.get(reg) == vn:
+            return reg
+        return None
+
+
+def _number(expr: Expr, table: _ValueTable) -> int:
+    if isinstance(expr, Const):
+        vn = table.of_key(("const", expr.value))
+        table.vn_const.setdefault(vn, expr.value)
+        return vn
+    if isinstance(expr, Reg):
+        return table.of_reg(expr)
+    if isinstance(expr, (Sym, Local)):
+        return table.of_key(("addr", expr))
+    if isinstance(expr, Mem):
+        addr_vn = _number(expr.addr, table)
+        return table.of_key(("mem", addr_vn, expr.width, table.mem_epoch))
+    if isinstance(expr, BinOp):
+        left = _number(expr.left, table)
+        right = _number(expr.right, table)
+        if expr.op in _COMMUTATIVE and right < left:
+            left, right = right, left
+        vn = table.of_key(("bin", expr.op, left, right))
+        lc = table.vn_const.get(left)
+        rc = table.vn_const.get(right)
+        if lc is not None and rc is not None and not (
+            expr.op in ("/", "%") and rc == 0
+        ):
+            value = eval_binop(expr.op, lc, rc)
+            table.vn_const.setdefault(vn, value)
+        return vn
+    if isinstance(expr, UnOp):
+        operand = _number(expr.operand, table)
+        vn = table.of_key(("un", expr.op, operand))
+        oc = table.vn_const.get(operand)
+        if oc is not None:
+            table.vn_const.setdefault(vn, eval_unop(expr.op, oc))
+        return vn
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def _rewrite(expr: Expr, table: _ValueTable) -> Expr:
+    """Replace ``expr`` by a cheaper equivalent when one is known."""
+    vn = _number(expr, table)
+    const = table.vn_const.get(vn)
+    if const is not None:
+        return Const(const)
+    if isinstance(expr, Reg):
+        holder = table.holder(vn)
+        return holder if holder is not None else expr
+    holder = table.holder(vn)
+    if holder is not None:
+        return holder
+    # Rewrite children for partial wins.
+    if isinstance(expr, Mem):
+        return Mem(_rewrite(expr.addr, table), expr.width)
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _rewrite(expr.left, table), _rewrite(expr.right, table))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _rewrite(expr.operand, table))
+    return expr
+
+
+def _commit_if_legal(
+    insn: Insn, rebuilt: Insn, target: Optional[Machine]
+) -> Tuple[Insn, bool]:
+    if target is None or target.legal(rebuilt):
+        return rebuilt, True
+    return insn, False
+
+
+def local_cse(func: Function, target: Optional[Machine] = None) -> bool:
+    """Run local value numbering over every block; True if changed."""
+    changed = False
+    for block in func.blocks:
+        if _cse_block(block, target):
+            changed = True
+    return changed
+
+
+def _cse_block(block: BasicBlock, target: Optional[Machine]) -> bool:
+    table = _ValueTable()
+    changed = False
+    for index, insn in enumerate(block.insns):
+        if isinstance(insn, Assign):
+            new_src = _rewrite(insn.src, table)
+            src_vn = _number(insn.src, table)
+            if isinstance(insn.dst, Reg):
+                if new_src != insn.src:
+                    candidate = Assign(insn.dst, new_src)
+                    candidate, ok = _commit_if_legal(insn, candidate, target)
+                    if ok:
+                        block.insns[index] = candidate
+                        insn = candidate
+                        changed = True
+                table.set_reg(insn.dst, src_vn)
+            else:
+                new_addr = _rewrite(insn.dst.addr, table)
+                rebuilt = Assign(Mem(new_addr, insn.dst.width), new_src)
+                if new_src != insn.src or new_addr != insn.dst.addr:
+                    rebuilt, ok = _commit_if_legal(insn, rebuilt, target)
+                    if ok:
+                        block.insns[index] = rebuilt
+                        insn = rebuilt
+                        changed = True
+                addr_vn = _number(insn.dst.addr, table)
+                width = insn.dst.width
+                table.mem_epoch += 1
+                # Store-to-load forwarding: the stored cell now holds src_vn.
+                key = ("mem", addr_vn, width, table.mem_epoch)
+                table._by_key[key] = src_vn
+        elif isinstance(insn, Compare):
+            new_left = _rewrite(insn.left, table)
+            new_right = _rewrite(insn.right, table)
+            if new_left != insn.left or new_right != insn.right:
+                candidate = Compare(new_left, new_right)
+                candidate, ok = _commit_if_legal(insn, candidate, target)
+                if ok:
+                    block.insns[index] = candidate
+                    changed = True
+        elif isinstance(insn, Call):
+            table.mem_epoch += 1
+            table.set_reg(Reg("rv", 0), table.fresh())
+        elif isinstance(insn, IndirectJump):
+            new_addr = _rewrite(insn.addr, table)
+            if new_addr != insn.addr:
+                insn.addr = new_addr
+                changed = True
+    return changed

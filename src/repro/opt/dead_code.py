@@ -1,0 +1,100 @@
+"""Dead-code elimination at the control-flow level.
+
+Three cleanups, iterated to a fixpoint:
+
+* removal of blocks unreachable from the entry ("As a result of the
+  replication process, blocks which cannot be reached by the control flow
+  anymore can sometimes occur.  Therefore, dead code elimination is invoked
+  to delete these blocks." — §4);
+* removal of an unconditional jump to the positionally next block;
+* merging a block into its unique predecessor when that predecessor falls
+  through into it and has no other way in — longer straight-line blocks
+  expose more local optimization (and model the bigger basic blocks the
+  paper credits replication with).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..cfg.block import Function
+from ..cfg.graph import compute_flow, reachable_blocks
+from ..rtl.insn import Jump
+
+__all__ = ["eliminate_dead_code", "remove_unreachable", "merge_blocks"]
+
+
+def remove_unreachable(func: Function) -> bool:
+    """Delete blocks not reachable from the entry; True if changed."""
+    reachable = reachable_blocks(func)
+    if len(reachable) == len(func.blocks):
+        return False
+    kept = [block for block in func.blocks if block in reachable]
+    # Deleting a block must not break a fall-through of a survivor: the
+    # predecessor of a deleted block never falls through into it (a
+    # fall-through edge would have made it reachable), so layout is safe.
+    func.blocks = kept
+    compute_flow(func)
+    return True
+
+
+def _referenced_labels(func: Function) -> Set[str]:
+    labels: Set[str] = set()
+    for block in func.blocks:
+        term = block.terminator
+        if term is not None:
+            labels.update(term.branch_targets())
+    return labels
+
+
+def remove_redundant_jumps(func: Function) -> bool:
+    """Drop ``PC=L;`` when block L is positionally next; True if changed."""
+    changed = False
+    for index, block in enumerate(func.blocks[:-1]):
+        term = block.terminator
+        if isinstance(term, Jump) and func.blocks[index + 1].label == term.target:
+            block.insns.pop()
+            changed = True
+    if changed:
+        compute_flow(func)
+    return changed
+
+
+def merge_blocks(func: Function) -> bool:
+    """Merge fall-through-only successors into their predecessor."""
+    changed = False
+    referenced = _referenced_labels(func)
+    index = 0
+    while index + 1 < len(func.blocks):
+        block = func.blocks[index]
+        nxt = func.blocks[index + 1]
+        if (
+            block.falls_through()
+            and block.terminator is None
+            and nxt.label not in referenced
+            and all(p is block for p in nxt.preds)
+        ):
+            block.insns.extend(nxt.insns)
+            del func.blocks[index + 1]
+            compute_flow(func)
+            referenced = _referenced_labels(func)
+            changed = True
+            continue  # the merged block may merge again
+        index += 1
+    return changed
+
+
+def eliminate_dead_code(func: Function) -> bool:
+    """Run all control-flow cleanups to a fixpoint; True if anything changed."""
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        if remove_unreachable(func):
+            progress = True
+        if remove_redundant_jumps(func):
+            progress = True
+        if merge_blocks(func):
+            progress = True
+        changed = changed or progress
+    return changed

@@ -1,0 +1,181 @@
+"""The optimizer driver — Figure 3 of the paper.
+
+::
+
+    branch chaining;
+    dead code elimination;
+    reorder basic blocks to minimize jumps;
+    code replication (either JUMPS or LOOPS);
+    dead code elimination;
+
+    instruction selection;
+    register assignment;
+    if (change) instruction selection;
+    do {
+      register allocation by register coloring;
+      instruction selection;
+      common subexpression elimination;
+      dead variable elimination;
+      code motion;
+      strength reduction;
+      recurrences;
+      instruction selection;
+      branch chaining;
+      constant folding at conditional branches;
+      code replication (either JUMPS or LOOPS);
+      dead code elimination;
+    } while (change);
+    filling of delay slots for RISCs;
+
+One deviation, recorded in DESIGN.md: the colouring register allocator
+runs *after* the optimization loop instead of inside it, so the loop
+optimizes over virtual registers (promotion of memory locals to registers
+— VPO's "register allocation" effect — runs inside the loop as in the
+figure).  The final replication invocation passes ``allow_irreducible``
+to pick up jumps kept for reducibility, as described in §5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cfg.block import Function, Program
+from ..cfg.graph import compute_flow
+from ..core.replication import CodeReplicator, Policy, ReplicationMode, ReplicationStats
+from ..targets.delay_slots import fill_delay_slots
+from ..targets.machine import Machine, get_target
+from .branch_chaining import branch_chaining
+from .code_motion import loop_invariant_code_motion
+from .const_fold import fold_branches, fold_constants
+from .copy_prop import propagate_copies
+from .cse import local_cse
+from .dead_code import eliminate_dead_code
+from .dead_vars import eliminate_dead_variables
+from .instruction_selection import combine, legalize
+from .reorder import reorder_blocks
+from .regalloc import color_registers, promote_locals
+from .strength_reduction import strength_reduce
+
+__all__ = ["OptimizationConfig", "optimize_function", "optimize_program"]
+
+
+@dataclass
+class OptimizationConfig:
+    """What to run: the paper's SIMPLE / LOOPS / JUMPS configurations."""
+
+    #: "none" (SIMPLE), "loops" (LOOPS) or "jumps" (JUMPS).
+    replication: str = "none"
+    #: Step-2 heuristic for JUMPS.
+    policy: Policy = Policy.SHORTEST
+    #: §6 future-work bound on replication sequence length (RTLs).
+    max_rtls: Optional[int] = None
+    #: Maximum iterations of the do-while optimization loop.
+    max_iterations: int = 8
+    #: Run the final allow-irreducible replication invocation (§5.1).
+    final_replication: bool = True
+    #: Fill RISC delay slots at the end (disabled by the profile-guided
+    #: extension, which replicates after an instrumented training run).
+    fill_delay_slots: bool = True
+
+    def __post_init__(self) -> None:
+        if self.replication not in ("none", "loops", "jumps"):
+            raise ValueError(
+                f"replication must be none/loops/jumps, got {self.replication!r}"
+            )
+
+
+def _make_replicator(config: OptimizationConfig, allow_irreducible: bool = False):
+    if config.replication == "none":
+        return None
+    if config.replication == "loops":
+        return CodeReplicator(
+            mode=ReplicationMode.LOOPS, policy=Policy.FAVOR_LOOPS
+        )
+    return CodeReplicator(
+        mode=ReplicationMode.JUMPS,
+        policy=config.policy,
+        max_rtls=config.max_rtls,
+        allow_irreducible=allow_irreducible,
+    )
+
+
+def optimize_function(
+    func: Function, target: Machine, config: OptimizationConfig
+) -> ReplicationStats:
+    """Run the Figure-3 pipeline over ``func`` in place."""
+    stats = ReplicationStats()
+
+    def replicate(allow_irreducible: bool = False) -> bool:
+        replicator = _make_replicator(config, allow_irreducible)
+        if replicator is None:
+            return False
+        run_stats = replicator.run(func)
+        stats.merge(run_stats)
+        return run_stats.jumps_replaced > 0
+
+    # --- prologue ------------------------------------------------------------
+    branch_chaining(func)
+    eliminate_dead_code(func)
+    reorder_blocks(func)
+    eliminate_dead_code(func)
+    replicate()
+    eliminate_dead_code(func)
+
+    # --- instruction selection & register assignment --------------------------
+    fold_constants(func)
+    legalize(func, target)
+    if combine(func, target):
+        legalize(func, target)
+    promote_locals(func)
+    legalize(func, target)
+    combine(func, target)
+
+    # --- the do-while optimization loop ---------------------------------------
+    for _ in range(config.max_iterations):
+        changed = False
+        changed |= local_cse(func, target)
+        changed |= propagate_copies(func)
+        changed |= fold_constants(func)
+        changed |= legalize(func, target)
+        changed |= eliminate_dead_variables(func)
+        changed |= loop_invariant_code_motion(func)
+        changed |= strength_reduce(func)
+        changed |= legalize(func, target)
+        changed |= combine(func, target)
+        changed |= branch_chaining(func)
+        changed |= fold_branches(func)
+        changed |= replicate()
+        changed |= eliminate_dead_code(func)
+        if not changed:
+            break
+
+    # --- epilogue --------------------------------------------------------------
+    if config.final_replication and config.replication == "jumps":
+        if replicate(allow_irreducible=True):
+            eliminate_dead_code(func)
+            eliminate_dead_variables(func)
+
+    color_registers(func, target)
+    legalize(func, target)
+    eliminate_dead_code(func)
+    if target.has_delay_slots and config.fill_delay_slots:
+        fill_delay_slots(func)
+    compute_flow(func)
+    return stats
+
+
+def optimize_program(
+    program: Program,
+    target,
+    config: Optional[OptimizationConfig] = None,
+) -> ReplicationStats:
+    """Optimize every function of ``program``; return merged replication stats."""
+    if isinstance(target, str):
+        target = get_target(target)
+    if config is None:
+        config = OptimizationConfig()
+    total = ReplicationStats()
+    for func in program.functions.values():
+        total.merge(optimize_function(func, target, config))
+    return total

@@ -1,0 +1,65 @@
+"""Basic-block reordering to minimize unconditional jumps (Figure 3).
+
+Blocks glued together by fall-through edges form *runs* that cannot be
+separated.  Runs are re-laid-out greedily: after placing a run whose final
+block ends in an unconditional jump, the run starting at the jump's target
+is placed next when still unplaced — the jump then dies as a redundant
+jump-to-next (removed by :func:`repro.opt.dead_code.remove_redundant_jumps`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cfg.block import BasicBlock, Function
+from ..cfg.graph import compute_flow
+from ..rtl.insn import Jump
+
+__all__ = ["reorder_blocks"]
+
+
+def _runs(func: Function) -> List[List[BasicBlock]]:
+    """Split the layout into maximal fall-through runs."""
+    runs: List[List[BasicBlock]] = []
+    current: List[BasicBlock] = []
+    for block in func.blocks:
+        current.append(block)
+        if not block.falls_through():
+            runs.append(current)
+            current = []
+    if current:
+        runs.append(current)
+    return runs
+
+
+def reorder_blocks(func: Function) -> bool:
+    """Reorder runs to turn jumps into fall-throughs; True if changed."""
+    runs = _runs(func)
+    if len(runs) <= 1:
+        return False
+    by_head: Dict[str, int] = {run[0].label: i for i, run in enumerate(runs)}
+    placed = [False] * len(runs)
+    order: List[int] = []
+
+    cursor: Optional[int] = 0  # the entry run must stay first
+    while True:
+        if cursor is None:
+            cursor = next((i for i, done in enumerate(placed) if not done), None)
+            if cursor is None:
+                break
+        order.append(cursor)
+        placed[cursor] = True
+        tail = runs[cursor][-1]
+        term = tail.terminator
+        cursor = None
+        if isinstance(term, Jump):
+            candidate = by_head.get(term.target)
+            if candidate is not None and not placed[candidate]:
+                cursor = candidate
+
+    new_layout = [block for i in order for block in runs[i]]
+    if new_layout == func.blocks:
+        return False
+    func.blocks = new_layout
+    compute_flow(func)
+    return True

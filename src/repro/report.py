@@ -1,0 +1,55 @@
+"""Table formatting used by the benchmark harnesses.
+
+The experiment scripts print rows shaped like the paper's tables; this
+module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "pct", "mean", "stddev"]
+
+
+def pct(new: float, base: float) -> str:
+    """Relative change ``new`` vs ``base`` in the paper's +x.xx% style."""
+    if base == 0:
+        return "   n/a"
+    change = (new - base) / base * 100.0
+    return f"{change:+.2f}%"
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 below two items)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    centre = mean(values)
+    return (sum((v - centre) ** 2 for v in values) / (len(values) - 1)) ** 0.5
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)

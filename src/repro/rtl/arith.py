@@ -1,0 +1,88 @@
+"""32-bit two's-complement arithmetic shared by the constant folder and the
+RTL interpreter.
+
+Semantics follow C on the modelled machines: 32-bit wrap-around for
+add/sub/mul, truncation toward zero for division and remainder, shift
+counts masked to 5 bits.
+"""
+
+from __future__ import annotations
+
+__all__ = ["wrap32", "eval_binop", "eval_unop", "compare_relation"]
+
+_MASK = 0xFFFFFFFF
+
+
+def wrap32(value: int) -> int:
+    """Wrap a Python int to signed 32-bit two's complement."""
+    value &= _MASK
+    if value >= 0x80000000:
+        value -= 0x100000000
+    return value
+
+
+def _div_trunc(a: int, b: int) -> int:
+    """C-style integer division (truncation toward zero)."""
+    if b == 0:
+        raise ZeroDivisionError("RTL division by zero")
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return q
+
+
+def _rem_trunc(a: int, b: int) -> int:
+    """C-style remainder: a - (a/b)*b."""
+    return a - _div_trunc(a, b) * b
+
+
+def eval_binop(op: str, a: int, b: int) -> int:
+    """Evaluate a binary RTL operator on 32-bit values."""
+    if op == "+":
+        return wrap32(a + b)
+    if op == "-":
+        return wrap32(a - b)
+    if op == "*":
+        return wrap32(a * b)
+    if op == "/":
+        return wrap32(_div_trunc(a, b))
+    if op == "%":
+        return wrap32(_rem_trunc(a, b))
+    if op == "&":
+        return wrap32(a & b)
+    if op == "|":
+        return wrap32(a | b)
+    if op == "^":
+        return wrap32(a ^ b)
+    if op == "<<":
+        return wrap32(a << (b & 31))
+    if op == ">>":
+        # Arithmetic shift right (the values are signed).
+        return wrap32(a >> (b & 31))
+    raise ValueError(f"unknown binary operator {op!r}")
+
+
+def eval_unop(op: str, a: int) -> int:
+    """Evaluate a unary RTL operator on a 32-bit value."""
+    if op == "-":
+        return wrap32(-a)
+    if op == "~":
+        return wrap32(~a)
+    raise ValueError(f"unknown unary operator {op!r}")
+
+
+def compare_relation(rel: str, a: int, b: int) -> bool:
+    """Evaluate ``a rel b`` for a branch relation."""
+    if rel == "<":
+        return a < b
+    if rel == "<=":
+        return a <= b
+    if rel == ">":
+        return a > b
+    if rel == ">=":
+        return a >= b
+    if rel == "==":
+        return a == b
+    if rel == "!=":
+        return a != b
+    raise ValueError(f"unknown relation {rel!r}")

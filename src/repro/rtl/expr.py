@@ -1,0 +1,215 @@
+"""RTL expression trees.
+
+Expressions are immutable (frozen dataclasses) so that they can be hashed,
+compared structurally, and shared freely between instructions.  This mirrors
+the register transfer lists (RTLs) of VPO, where an instruction is an
+assignment of an expression to a register or memory cell.
+
+The vocabulary follows the paper's notation:
+
+* ``d[0]``, ``a[6]``, ``r[8]`` ... machine registers (:class:`Reg`)
+* ``x.``                        ... address of global symbol ``x`` (:class:`Sym`)
+* ``a[6]+i.``                   ... address of local ``i`` (:class:`Local`)
+* ``L[addr]`` / ``B[addr]``     ... memory reference (:class:`Mem`)
+* constants, binary and unary operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Tuple
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Sym",
+    "Local",
+    "Reg",
+    "Mem",
+    "BinOp",
+    "UnOp",
+    "walk",
+    "subst",
+    "regs_in",
+    "mems_in",
+    "locals_in",
+    "map_expr",
+]
+
+# Widths of memory references, in bytes.  The letters follow the paper's
+# notation for the 68020: B = byte, W = 16-bit word, L = 32-bit long.
+WIDTH_BYTES: Dict[str, int] = {"B": 1, "W": 2, "L": 4}
+
+# Binary operators understood by the RTL language.  Comparison is not an
+# operator here: it is expressed by the Compare instruction that sets NZ.
+BINARY_OPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>")
+UNARY_OPS = ("-", "~")
+
+
+class Expr:
+    """Base class of all RTL expressions."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An integer constant."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+
+@dataclass(frozen=True)
+class Sym(Expr):
+    """The address of a global symbol (printed ``name.`` as in the paper)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Sym({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Local(Expr):
+    """The address of a local (frame) slot.
+
+    The paper prints locals as frame-pointer relative addresses such as
+    ``a[6]+i.``; we keep the slot symbolic so that the frame layout can be
+    assigned late (by the code generator) and resolved by the interpreter.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Local({self.name!r})"
+
+
+@dataclass(frozen=True)
+class Reg(Expr):
+    """A register: ``bank`` selects the register file, ``index`` the member.
+
+    Banks in use:
+
+    * ``"v"``   -- virtual registers produced by the front-end (unbounded)
+    * ``"d"``   -- 68020 data registers
+    * ``"a"``   -- 68020 address registers
+    * ``"r"``   -- SPARC integer registers
+    * ``"arg"`` -- argument-passing registers of the calling convention
+    * ``"rv"``  -- the return-value register
+    * ``"cc"``  -- the condition-code register (printed ``NZ``)
+    """
+
+    bank: str
+    index: int
+
+    def __repr__(self) -> str:
+        return f"Reg({self.bank!r},{self.index})"
+
+
+@dataclass(frozen=True)
+class Mem(Expr):
+    """A memory reference of the given width whose address is ``addr``."""
+
+    addr: Expr
+    width: str  # "B", "W" or "L"
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.addr,)
+
+    def __repr__(self) -> str:
+        return f"Mem({self.addr!r},{self.width!r})"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op!r},{self.left!r},{self.right!r})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    op: str
+    operand: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"UnOp({self.op!r},{self.operand!r})"
+
+
+# The condition-code register used by Compare / CondBranch.
+NZ = Reg("cc", 0)
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def regs_in(expr: Expr) -> Iterator[Reg]:
+    """Yield every register occurring in ``expr``."""
+    for node in walk(expr):
+        if isinstance(node, Reg):
+            yield node
+
+
+def mems_in(expr: Expr) -> Iterator[Mem]:
+    """Yield every memory reference occurring in ``expr``."""
+    for node in walk(expr):
+        if isinstance(node, Mem):
+            yield node
+
+
+def locals_in(expr: Expr) -> Iterator[Local]:
+    """Yield every local-address leaf occurring in ``expr``."""
+    for node in walk(expr):
+        if isinstance(node, Local):
+            yield node
+
+
+def map_expr(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
+    """Rebuild ``expr`` bottom-up, applying ``fn`` to every node.
+
+    ``fn`` receives each node *after* its children have been rewritten and
+    may return a replacement node (or the node unchanged).
+    """
+    if isinstance(expr, Mem):
+        rebuilt: Expr = Mem(map_expr(expr.addr, fn), expr.width)
+    elif isinstance(expr, BinOp):
+        rebuilt = BinOp(expr.op, map_expr(expr.left, fn), map_expr(expr.right, fn))
+    elif isinstance(expr, UnOp):
+        rebuilt = UnOp(expr.op, map_expr(expr.operand, fn))
+    else:
+        rebuilt = expr
+    return fn(rebuilt)
+
+
+def subst(expr: Expr, mapping: Dict[Expr, Expr]) -> Expr:
+    """Replace occurrences of keys of ``mapping`` in ``expr`` by their values.
+
+    Matching is performed bottom-up and structurally, so substituting
+    ``{Reg('v', 1): Const(3)}`` rewrites every use of the virtual register.
+    """
+
+    def replace(node: Expr) -> Expr:
+        return mapping.get(node, node)
+
+    return map_expr(expr, replace)

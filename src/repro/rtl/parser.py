@@ -1,0 +1,323 @@
+"""Parsing the textual RTL notation back into instruction objects.
+
+The accepted syntax is the one produced by :mod:`repro.rtl.printer` (which
+itself follows the paper's listings), with labels written ``Lname:`` on a
+line of their own::
+
+    L15:
+      d[0]=d[1];
+      NZ=d[0]?L[_n];
+      PC=NZ>=0,L16;
+      B[a[0]]=B[a[0]+1];
+      PC=L15;
+
+This makes it possible to write tests and examples directly in the paper's
+notation and round-trip them through the printer.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .expr import BinOp, Const, Expr, Local, Mem, Reg, Sym, UnOp
+from .insn import (
+    RELATIONS,
+    Assign,
+    Call,
+    Compare,
+    CondBranch,
+    IndirectJump,
+    Insn,
+    Jump,
+    Nop,
+    Return,
+)
+
+__all__ = [
+    "parse_expr",
+    "parse_insn",
+    "parse_insns",
+    "parse_function_text",
+    "RTLSyntaxError",
+]
+
+
+class RTLSyntaxError(ValueError):
+    """Raised when the textual RTL cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<num>\d+)"
+    r"|(?P<name>[A-Za-z_]\w*)"
+    r"|(?P<op><<|>>|[-+*/%&|^~()\[\],.?=;:<>!])"
+    r")"
+)
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.end() == pos:
+            remaining = text[pos:].strip()
+            if not remaining:
+                break
+            raise RTLSyntaxError(f"cannot tokenize {remaining!r}")
+        pos = match.end()
+        token = match.group("num") or match.group("name") or match.group("op")
+        if token is not None:
+            tokens.append(token)
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: List[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> Optional[str]:
+        index = self.pos + offset
+        if index < len(self.tokens):
+            return self.tokens[index]
+        return None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise RTLSyntaxError("unexpected end of input")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise RTLSyntaxError(f"expected {token!r}, got {got!r}")
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    # --- expression grammar (precedence climbing) --------------------------
+
+    def parse_expr(self, min_prec: int = 1) -> Expr:
+        left = self.parse_unary()
+        while True:
+            op = self.peek()
+            prec = _BIN_PREC.get(op or "", 0)
+            if prec < min_prec:
+                return left
+            self.next()
+            right = self.parse_expr(prec + 1)
+            left = BinOp(op, left, right)  # type: ignore[arg-type]
+
+    def parse_unary(self) -> Expr:
+        token = self.peek()
+        if token == "-":
+            self.next()
+            operand = self.parse_unary()
+            if isinstance(operand, Const):
+                return Const(-operand.value)
+            return UnOp("-", operand)
+        if token == "~":
+            self.next()
+            return UnOp("~", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.next()
+        if token == "(":
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if token.isdigit():
+            return Const(int(token))
+        if token in ("B", "W", "L") and self.peek() == "[":
+            self.next()
+            addr = self.parse_expr()
+            self.expect("]")
+            return Mem(addr, token)
+        if token == "NZ":
+            return Reg("cc", 0)
+        if token == "FP" and self.peek() == "+":
+            # FP+name. is the printed form of a Local
+            self.next()
+            name = self.next()
+            self.expect(".")
+            return Local(name)
+        if re.fullmatch(r"[A-Za-z_]\w*", token):
+            if self.peek() == "[":
+                self.next()
+                index_token = self.next()
+                if not index_token.isdigit():
+                    raise RTLSyntaxError(f"register index must be a number: {index_token!r}")
+                self.expect("]")
+                return Reg(token, int(index_token))
+            if self.peek() == ".":
+                self.next()
+                return Sym(token)
+            raise RTLSyntaxError(f"bare name {token!r} (globals need a trailing dot)")
+        raise RTLSyntaxError(f"unexpected token {token!r}")
+
+
+_BIN_PREC = {
+    "|": 1,
+    "^": 2,
+    "&": 3,
+    "<<": 4,
+    ">>": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a single expression, e.g. ``"L[a[6]+4]"`` or ``"d[0]+1"``."""
+    parser = _Parser(_tokenize(text))
+    expr = parser.parse_expr()
+    if not parser.at_end():
+        raise RTLSyntaxError(f"trailing tokens after expression in {text!r}")
+    return expr
+
+
+def _parse_relation(parser: _Parser) -> str:
+    token = parser.next()
+    if token in ("<", ">") and parser.peek() == "=":
+        parser.next()
+        token += "="
+    elif token == "=" and parser.peek() == "=":
+        parser.next()
+        token = "=="
+    elif token == "!" and parser.peek() == "=":
+        parser.next()
+        token = "!="
+    if token not in RELATIONS:
+        raise RTLSyntaxError(f"bad relation {token!r}")
+    return token
+
+
+def parse_insn(text: str) -> Insn:
+    """Parse one instruction written in the paper's notation."""
+    text = text.strip()
+    if text.endswith(";"):
+        text = text[:-1]
+    parser = _Parser(_tokenize(text))
+    insn = _parse_insn(parser)
+    if not parser.at_end():
+        raise RTLSyntaxError(f"trailing tokens in {text!r}")
+    return insn
+
+
+def _parse_insn(parser: _Parser) -> Insn:
+    token = parser.peek()
+    if token == "NOP":
+        parser.next()
+        return Nop()
+    if token == "CALL":
+        parser.next()
+        name = parser.next()
+        if name.startswith("_"):
+            name = name[1:]
+        nargs = 0
+        if parser.peek() == ",":
+            parser.next()
+            nargs = int(parser.next())
+        return Call(name, nargs)
+    if token == "NZ":
+        parser.next()
+        parser.expect("=")
+        left = parser.parse_expr()
+        parser.expect("?")
+        right = parser.parse_expr()
+        return Compare(left, right)
+    if token == "PC":
+        parser.next()
+        parser.expect("=")
+        nxt = parser.peek()
+        if nxt == "RT":
+            parser.next()
+            return Return()
+        if nxt == "NZ":
+            parser.next()
+            rel = _parse_relation(parser)
+            zero = parser.next()
+            if zero != "0":
+                raise RTLSyntaxError("conditional branches compare NZ against 0")
+            parser.expect(",")
+            return CondBranch(rel, parser.next())
+        if nxt == "L" and parser.peek(1) == "[":
+            parser.next()
+            parser.next()
+            addr = parser.parse_expr()
+            parser.expect("]")
+            targets: List[str] = []
+            if parser.peek() == "<":
+                parser.next()
+                while parser.peek() != ">":
+                    name = parser.next()
+                    if name != ",":
+                        targets.append(name)
+                parser.expect(">")
+            return IndirectJump(addr, targets)
+        return Jump(parser.next())
+    # Otherwise: an assignment "lvalue = expr"
+    dst = parser.parse_primary()
+    if not isinstance(dst, (Reg, Mem)):
+        raise RTLSyntaxError(f"bad assignment destination {dst!r}")
+    parser.expect("=")
+    src = parser.parse_expr()
+    return Assign(dst, src)
+
+
+def parse_insns(text: str) -> List[Tuple[Optional[str], Insn]]:
+    """Parse a multi-line listing into ``(label, insn)`` pairs.
+
+    A label line ``Lname:`` attaches the label to the *next* instruction.
+    """
+    result: List[Tuple[Optional[str], Insn]] = []
+    pending_label: Optional[str] = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith(":") and re.fullmatch(r"[A-Za-z_]\w*:", line):
+            if pending_label is not None:
+                raise RTLSyntaxError(f"two consecutive labels before an instruction: {line!r}")
+            pending_label = line[:-1]
+            continue
+        # Several instructions may share a line, separated by ';'.
+        for piece in filter(None, (p.strip() for p in line.split(";"))):
+            result.append((pending_label, parse_insn(piece)))
+            pending_label = None
+    if pending_label is not None:
+        raise RTLSyntaxError(f"label {pending_label!r} at end of input")
+    return result
+
+
+def parse_function_text(text: str):
+    """Parse a whole listing as printed by ``format_function``.
+
+    The first non-empty line must be ``function name(params...)``; the
+    rest is a labelled instruction listing.  Returns a
+    :class:`~repro.cfg.block.Function` (imported lazily to avoid an import
+    cycle), so ``parse_function_text(format_function(f))`` round-trips.
+    """
+    from ..cfg.graph import build_function
+
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise RTLSyntaxError("empty function listing")
+    header = lines[0].strip()
+    match = re.fullmatch(r"function\s+(\w+)\((.*)\)", header)
+    if not match:
+        raise RTLSyntaxError(f"bad function header {header!r}")
+    name = match.group(1)
+    params = [p.strip() for p in match.group(2).split(",") if p.strip()]
+    pairs = parse_insns("\n".join(lines[1:]))
+    return build_function(name, pairs, params)

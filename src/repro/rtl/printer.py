@@ -1,0 +1,126 @@
+"""Printing RTLs in the paper's textual notation.
+
+Examples of output (compare Tables 1 and 2 of the paper)::
+
+    d[1]=1;
+    NZ=d[0]?L[_n];
+    PC=NZ>=0,L16;
+    B[a[0]]=B[a[0]+1];
+    PC=L15;
+    PC=RT;
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .expr import BinOp, Const, Expr, Local, Mem, Reg, Sym, UnOp
+from .insn import (
+    Assign,
+    Call,
+    Compare,
+    CondBranch,
+    IndirectJump,
+    Insn,
+    Jump,
+    Nop,
+    Return,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..cfg.block import BasicBlock, Function
+
+import re
+
+_INT_LITERAL = re.compile(r"-?\d+")
+
+__all__ = ["format_expr", "format_insn", "format_block", "format_function"]
+
+# Precedence levels used to decide where parentheses are required.
+_PRECEDENCE = {
+    "|": 1,
+    "^": 2,
+    "&": 3,
+    "<<": 4,
+    ">>": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def format_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression in the paper's notation."""
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Sym):
+        return f"{expr.name}."
+    if isinstance(expr, Local):
+        # Locals are frame-pointer-relative; the generic frame pointer is
+        # rendered as FP (targets print a[6] or r[30] in their listings).
+        return f"FP+{expr.name}."
+    if isinstance(expr, Reg):
+        if expr.bank == "cc":
+            return "NZ"
+        return f"{expr.bank}[{expr.index}]"
+    if isinstance(expr, Mem):
+        return f"{expr.width}[{format_expr(expr.addr)}]"
+    if isinstance(expr, UnOp):
+        inner = format_expr(expr.operand, 10)
+        if expr.op == "-" and _INT_LITERAL.fullmatch(inner):
+            # Print as a plain (negated) constant so that the parser's
+            # constant folding of unary minus round-trips (covers nested
+            # negations of constants too).
+            return str(-int(inner))
+        return f"{expr.op}{inner}"
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        left = format_expr(expr.left, prec)
+        # Right operand needs a higher threshold for non-associative ops.
+        right = format_expr(expr.right, prec + 1)
+        text = f"{left}{expr.op}{right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def format_insn(insn: Insn) -> str:
+    """Render one instruction in the paper's notation."""
+    if isinstance(insn, Assign):
+        return f"{format_expr(insn.dst)}={format_expr(insn.src)};"
+    if isinstance(insn, Compare):
+        return f"NZ={format_expr(insn.left)}?{format_expr(insn.right)};"
+    if isinstance(insn, CondBranch):
+        return f"PC=NZ{insn.rel}0,{insn.target};"
+    if isinstance(insn, Jump):
+        return f"PC={insn.target};"
+    if isinstance(insn, IndirectJump):
+        targets = ",".join(insn.targets)
+        return f"PC=L[{format_expr(insn.addr)}]<{targets}>;"
+    if isinstance(insn, Call):
+        return f"CALL _{insn.func},{insn.nargs};"
+    if isinstance(insn, Return):
+        return "PC=RT;"
+    if isinstance(insn, Nop):
+        return "NOP;"
+    raise TypeError(f"unknown instruction {insn!r}")
+
+
+def format_block(block: "BasicBlock") -> str:
+    """Render a basic block: label line followed by indented instructions."""
+    lines = [f"{block.label}:"]
+    for insn in block.insns:
+        lines.append(f"  {format_insn(insn)}")
+    return "\n".join(lines)
+
+
+def format_function(func: "Function") -> str:
+    """Render a whole function in positional block order."""
+    header = f"function {func.name}({', '.join(func.params)})"
+    parts = [header]
+    for block in func.blocks:
+        parts.append(format_block(block))
+    return "\n".join(parts)

@@ -1,0 +1,15 @@
+"""Target machine models: a 68020-like CISC and a SPARC-like RISC."""
+
+from .delay_slots import count_nops, fill_delay_slots
+from .m68020 import M68020
+from .machine import Machine, get_target
+from .sparc import Sparc
+
+__all__ = [
+    "Machine",
+    "M68020",
+    "Sparc",
+    "get_target",
+    "fill_delay_slots",
+    "count_nops",
+]

@@ -1,0 +1,189 @@
+"""A Motorola-68020-like CISC machine description.
+
+Characteristics modelled (cf. §5 of the paper, which generated 68020/68881
+code):
+
+* memory operands are allowed directly in ALU instructions and moves, so
+  instruction selection can fold loads and stores into computations;
+* rich addressing modes: base register + index register (optionally scaled
+  by 1/2/4/8) + displacement;
+* variable instruction sizes (2–10 bytes), which matters to the
+  instruction-cache layout;
+* data registers d0–d7 and address registers a0–a5 are allocatable
+  (a6 is the frame pointer, a7 the stack pointer, as in the paper's
+  listings where locals print as ``a[6]+i.``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..rtl.expr import BinOp, Const, Expr, Local, Mem, Reg, Sym, UnOp
+from ..rtl.insn import (
+    Assign,
+    Call,
+    Compare,
+    CondBranch,
+    IndirectJump,
+    Insn,
+    Jump,
+    Nop,
+    Return,
+)
+from .machine import Machine, flatten_sum, is_leaf
+
+__all__ = ["M68020"]
+
+_SCALES = (1, 2, 4, 8)
+
+
+class M68020(Machine):
+    """The Motorola-68020-like CISC machine description."""
+
+    name = "m68020"
+    has_delay_slots = False
+    allows_memory_operands = True
+
+    pool = tuple(
+        [Reg("d", i) for i in range(7)] + [Reg("a", i) for i in range(4)]
+    )
+    # d7 and a4/a5 are reserved as spill/legalization scratch registers
+    # (a6 is the frame pointer, a7 the stack pointer).
+    scratch = (Reg("d", 7), Reg("a", 4), Reg("a", 5))
+
+    # --- operand shapes --------------------------------------------------------
+
+    def _operand(self, expr: Expr) -> bool:
+        """An effective address: leaf or legal memory reference."""
+        if is_leaf(expr):
+            return True
+        if isinstance(expr, Mem):
+            return self.legal_addr(expr.addr)
+        return False
+
+    def _mem_count(self, expr: Expr) -> int:
+        if isinstance(expr, Mem):
+            return 1
+        if isinstance(expr, BinOp):
+            return self._mem_count(expr.left) + self._mem_count(expr.right)
+        if isinstance(expr, UnOp):
+            return self._mem_count(expr.operand)
+        return 0
+
+    def legal_addr(self, addr: Expr) -> bool:
+        """base + (scaled) index + displacement, at most one of each."""
+        terms = flatten_sum(addr)
+        if terms is None:
+            return False
+        bases = 0
+        indexes = 0
+        consts = 0
+        for term in terms:
+            if isinstance(term, (Reg, Sym, Local)):
+                bases += 1
+            elif isinstance(term, Const):
+                consts += 1
+            elif (
+                isinstance(term, BinOp)
+                and term.op == "*"
+                and isinstance(term.left, Reg)
+                and isinstance(term.right, Const)
+                and term.right.value in _SCALES
+            ):
+                indexes += 1
+            elif (
+                isinstance(term, BinOp)
+                and term.op == "<<"
+                and isinstance(term.left, Reg)
+                and isinstance(term.right, Const)
+                and term.right.value in (0, 1, 2, 3)
+            ):
+                indexes += 1
+            else:
+                return False
+        # A second plain register may serve as the (unscaled) index.
+        return bases + indexes <= 2 and consts <= 1
+
+    def legal_assign(self, insn: Assign) -> bool:
+        dst_mems = 1 if isinstance(insn.dst, Mem) else 0
+        if isinstance(insn.dst, Mem) and not self.legal_addr(insn.dst.addr):
+            return False
+        src = insn.src
+        if self._operand(src):
+            # A plain move; mem-to-mem moves are allowed on the 68020.
+            return True
+        if isinstance(src, UnOp) and self._operand(src.operand):
+            # neg/not work on a register or a memory operand...
+            return self._mem_count(src.operand) + dst_mems <= 1
+        if isinstance(src, BinOp):
+            if not (self._operand(src.left) and self._operand(src.right)):
+                return False
+            if isinstance(insn.dst, Mem):
+                # Read-modify-write forms (add #imm,<ea> / add Dn,<ea>):
+                # the destination EA may appear as one operand, the other
+                # must be a register or an immediate.
+                if src.left == insn.dst:
+                    return isinstance(src.right, (Reg, Const))
+                if src.op in ("+", "*", "&", "|", "^") and src.right == insn.dst:
+                    return isinstance(src.left, (Reg, Const))
+                return False
+            # ALU ops into a register take at most one memory operand.
+            return self._mem_count(src) <= 1
+        return False
+
+    def legal_compare(self, insn: Compare) -> bool:
+        if not (self._operand(insn.left) and self._operand(insn.right)):
+            return False
+        return self._mem_count(insn.left) + self._mem_count(insn.right) <= 1
+
+    # --- sizes -----------------------------------------------------------------
+
+    def _const_extra(self, value: int) -> int:
+        if -128 <= value <= 127:
+            return 2  # moveq/addq-style short immediates
+        if -32768 <= value <= 32767:
+            return 2
+        return 4
+
+    def _expr_extra(self, expr: Expr) -> int:
+        """Extension words contributed by an operand expression."""
+        extra = 0
+        if isinstance(expr, Mem):
+            terms = flatten_sum(expr.addr) or []
+            # Displacement and/or index each need an extension word.
+            extra += 2 * max(1, len(terms) - 1)
+        elif isinstance(expr, Const):
+            extra += self._const_extra(expr.value)
+        elif isinstance(expr, (Sym, Local)):
+            extra += 4 if isinstance(expr, Sym) else 2
+        elif isinstance(expr, BinOp):
+            extra += self._expr_extra(expr.left) + self._expr_extra(expr.right)
+        elif isinstance(expr, UnOp):
+            extra += self._expr_extra(expr.operand)
+        return extra
+
+    def insn_size(self, insn: Insn) -> int:
+        if isinstance(insn, Assign):
+            return 2 + self._expr_extra(insn.dst) + self._expr_extra(insn.src)
+        if isinstance(insn, Compare):
+            return 2 + self._expr_extra(insn.left) + self._expr_extra(insn.right)
+        if isinstance(insn, CondBranch):
+            return 4
+        if isinstance(insn, Jump):
+            return 4
+        if isinstance(insn, IndirectJump):
+            return 4
+        if isinstance(insn, Call):
+            return 4
+        if isinstance(insn, Return):
+            return 2
+        if isinstance(insn, Nop):
+            return 2
+        raise TypeError(f"unknown instruction {insn!r}")
+
+    # --- register preferences ----------------------------------------------------
+
+    def preferred_regs(self, wants_address: bool) -> Tuple[Reg, ...]:
+        data = tuple(r for r in self.pool if r.bank == "d")
+        addr = tuple(r for r in self.pool if r.bank == "a")
+        return addr + data if wants_address else data + addr

@@ -1,0 +1,124 @@
+"""Machine descriptions.
+
+A :class:`Machine` answers three questions for the rest of the system:
+
+* ``legal(insn)`` — is this RTL implementable as one instruction of the
+  target?  Instruction selection *combines* RTLs only while this holds
+  (the Davidson/Fraser discipline used by VPO), and *legalization* splits
+  RTLs that violate it.
+* ``insn_size(insn)`` — how many bytes of instruction memory the RTL
+  occupies (used by the cache simulator's layout).
+* ``insn_count(insn)`` — how many machine instructions the RTL stands for
+  (almost always 1; address formation on the RISC target costs 2).
+
+The two concrete machines live in :mod:`repro.targets.m68020` and
+:mod:`repro.targets.sparc`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..rtl.expr import BinOp, Const, Expr, Local, Reg, Sym
+from ..rtl.insn import (
+    Assign,
+    Call,
+    Compare,
+    CondBranch,
+    IndirectJump,
+    Insn,
+    Jump,
+    Nop,
+    Return,
+)
+
+__all__ = ["Machine", "flatten_sum", "is_leaf", "get_target"]
+
+
+def flatten_sum(expr: Expr) -> Optional[List[Expr]]:
+    """Flatten a ``+`` tree into its terms; ``None`` if another op occurs."""
+    terms: List[Expr] = []
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BinOp) and node.op == "+":
+            stack.append(node.left)
+            stack.append(node.right)
+        else:
+            terms.append(node)
+    return terms
+
+
+def is_leaf(expr: Expr) -> bool:
+    """Leaves usable directly as instruction operands."""
+    return isinstance(expr, (Reg, Const, Sym, Local))
+
+
+class Machine:
+    """Base class for target machine descriptions."""
+
+    name = "abstract"
+    has_delay_slots = False
+    allows_memory_operands = False
+
+    #: Registers available to the colouring allocator.
+    pool: Tuple[Reg, ...] = ()
+    #: Registers reserved for spill shuttling (never allocated).
+    scratch: Tuple[Reg, ...] = ()
+
+    # --- legality ------------------------------------------------------------
+
+    def legal(self, insn: Insn) -> bool:
+        """True when ``insn`` can be one instruction of this machine."""
+        if isinstance(insn, Assign):
+            return self.legal_assign(insn)
+        if isinstance(insn, Compare):
+            return self.legal_compare(insn)
+        # Control transfers, calls and nops are always representable.
+        return isinstance(
+            insn, (CondBranch, Jump, IndirectJump, Call, Return, Nop)
+        )
+
+    def legal_assign(self, insn: Assign) -> bool:
+        raise NotImplementedError
+
+    def legal_compare(self, insn: Compare) -> bool:
+        raise NotImplementedError
+
+    def legal_addr(self, addr: Expr) -> bool:
+        raise NotImplementedError
+
+    # --- sizes & counts --------------------------------------------------------
+
+    def insn_size(self, insn: Insn) -> int:
+        raise NotImplementedError
+
+    def insn_count(self, insn: Insn) -> int:
+        return 1
+
+    # --- register classification -----------------------------------------------
+
+    def preferred_regs(self, wants_address: bool) -> Tuple[Reg, ...]:
+        """Pool order to try when colouring (address-use preference)."""
+        return self.pool
+
+    def __repr__(self) -> str:
+        return f"<Machine {self.name}>"
+
+
+def get_target(name: str) -> Machine:
+    """Look up a machine description by name ("m68020" or "sparc")."""
+    from .m68020 import M68020
+    from .sparc import Sparc
+
+    table = {
+        "m68020": M68020,
+        "68020": M68020,
+        "sparc": Sparc,
+    }
+    try:
+        return table[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown target {name!r}; expected one of {sorted(table)}"
+        ) from None

@@ -1,0 +1,111 @@
+"""A SPARC-like RISC machine description.
+
+Characteristics modelled (cf. §5: "the Sun SPARC processor, a RISC
+architecture.  For the SPARC processor, delay slots after transfers of
+control were filled"):
+
+* strict load/store discipline — ALU operations work on registers and
+  13-bit immediates only;
+* addressing modes limited to ``reg + reg`` and ``reg + simm13``;
+* fixed 4-byte instructions;
+* forming a 32-bit constant or a global address takes a ``sethi``/``or``
+  pair: such an RTL *counts* as two instructions and eight bytes;
+* every control transfer has an architectural delay slot (filled by
+  :mod:`repro.targets.delay_slots`, inserting an explicit no-op when no
+  useful instruction is available).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..rtl.expr import BinOp, Const, Expr, Local, Mem, Reg, Sym, UnOp
+from ..rtl.insn import Assign, Compare, Insn
+from .machine import Machine, flatten_sum
+
+__all__ = ["Sparc"]
+
+SIMM13_MIN = -4096
+SIMM13_MAX = 4095
+
+
+def _fits_simm13(value: int) -> bool:
+    return SIMM13_MIN <= value <= SIMM13_MAX
+
+
+class Sparc(Machine):
+    """The SPARC-like RISC machine description."""
+
+    name = "sparc"
+    has_delay_slots = True
+    allows_memory_operands = False
+
+    # %l0-%l7 and %i0-%i5 style pool, named r8..r25 here; r26/r27 are the
+    # spill scratch registers, r30 is the frame pointer.
+    pool = tuple(Reg("r", i) for i in range(8, 26))
+    scratch = (Reg("r", 26), Reg("r", 27), Reg("r", 28))
+
+    # --- operand shapes --------------------------------------------------------
+
+    @staticmethod
+    def _reg_or_simm(expr: Expr) -> bool:
+        if isinstance(expr, Reg):
+            return True
+        return isinstance(expr, Const) and _fits_simm13(expr.value)
+
+    def legal_addr(self, addr: Expr) -> bool:
+        """reg, reg+reg, reg+simm13, or frame-pointer relative (Local)."""
+        if isinstance(addr, (Reg, Local)):
+            return True
+        terms = flatten_sum(addr)
+        if terms is None or len(terms) != 2:
+            return False
+        a, b = terms
+        if isinstance(a, Const):
+            a, b = b, a
+        if isinstance(b, Reg):
+            return isinstance(a, Reg)
+        if isinstance(b, Const) and _fits_simm13(b.value):
+            return isinstance(a, (Reg, Local))
+        return False
+
+    def legal_assign(self, insn: Assign) -> bool:
+        if isinstance(insn.dst, Mem):
+            if not self.legal_addr(insn.dst.addr):
+                return False
+            # Stores take a register source; %g0 provides a zero store.
+            return isinstance(insn.src, Reg) or insn.src == Const(0)
+        src = insn.src
+        if isinstance(src, Reg):
+            return True
+        if isinstance(src, Const):
+            return True  # small: or %g0; large: sethi/or pair (2 insns)
+        if isinstance(src, (Sym, Local)):
+            return True  # address formation (sethi/or or add %fp)
+        if isinstance(src, Mem):
+            return self.legal_addr(src.addr)
+        if isinstance(src, UnOp):
+            return isinstance(src.operand, Reg)
+        if isinstance(src, BinOp):
+            return isinstance(src.left, Reg) and self._reg_or_simm(src.right)
+        return False
+
+    def legal_compare(self, insn: Compare) -> bool:
+        return isinstance(insn.left, Reg) and self._reg_or_simm(insn.right)
+
+    # --- sizes & counts ---------------------------------------------------------
+
+    def insn_count(self, insn: Insn) -> int:
+        if isinstance(insn, Assign) and isinstance(insn.dst, Reg):
+            src = insn.src
+            if isinstance(src, Const) and not _fits_simm13(src.value):
+                return 2  # sethi %hi + or %lo
+            if isinstance(src, Sym):
+                return 2  # global address formation
+        return 1
+
+    def insn_size(self, insn: Insn) -> int:
+        return 4 * self.insn_count(insn)
+
+    def preferred_regs(self, wants_address: bool) -> Tuple[Reg, ...]:
+        return self.pool

@@ -1,0 +1,108 @@
+"""Control-flow visualization helpers.
+
+``to_dot`` renders a function's CFG as Graphviz DOT text (one record node
+per basic block with its RTLs, fall-through edges solid, branch-taken
+edges dashed, back edges bold).  ``cfg_summary`` prints a quick
+adjacency overview for terminals.  Neither requires graphviz to be
+installed — they produce plain text.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from .cfg.block import BasicBlock, Function
+from .cfg.dominators import compute_dominators
+from .cfg.loops import find_loops
+from .rtl.insn import CondBranch, IndirectJump, Jump, Return
+from .rtl.printer import format_insn
+
+__all__ = ["to_dot", "cfg_summary"]
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("<", "\\<")
+        .replace(">", "\\>")
+        .replace("{", "\\{")
+        .replace("}", "\\}")
+        .replace("|", "\\|")
+    )
+
+
+def _edges(func: Function) -> List[Tuple[BasicBlock, BasicBlock, str]]:
+    """(src, dst, kind) with kind in fall/taken/jump/indirect."""
+    edges = []
+    for index, block in enumerate(func.blocks):
+        term = block.terminator
+        if isinstance(term, Jump):
+            edges.append((block, func.block_by_label(term.target), "jump"))
+        elif isinstance(term, CondBranch):
+            edges.append((block, func.blocks[index + 1], "fall"))
+            edges.append((block, func.block_by_label(term.target), "taken"))
+        elif isinstance(term, IndirectJump):
+            for target in term.targets:
+                edges.append((block, func.block_by_label(target), "indirect"))
+        elif isinstance(term, Return):
+            pass
+        elif index + 1 < len(func.blocks):
+            edges.append((block, func.blocks[index + 1], "fall"))
+    return edges
+
+
+def to_dot(func: Function, max_insns_per_block: int = 12) -> str:
+    """Render ``func`` as Graphviz DOT text."""
+    info = find_loops(func)
+    back_edges: Set[Tuple[int, int]] = set()
+    for loop in info.loops:
+        for tail, header in loop.back_edges:
+            back_edges.add((id(tail), id(header)))
+    headers = {id(loop.header) for loop in info.loops}
+
+    lines = [f'digraph "{func.name}" {{']
+    lines.append("  node [shape=record, fontname=monospace, fontsize=9];")
+    lines.append('  rankdir="TB";')
+    for block in func.blocks:
+        shown = [format_insn(i) for i in block.insns[:max_insns_per_block]]
+        if len(block.insns) > max_insns_per_block:
+            shown.append(f"... +{len(block.insns) - max_insns_per_block} more")
+        body = "\\l".join(_escape(t) for t in shown)
+        style = ', style=filled, fillcolor="lightyellow"' if id(block) in headers else ""
+        lines.append(
+            f'  "{block.label}" [label="{{{_escape(block.label)}|{body}\\l}}"{style}];'
+        )
+    for src, dst, kind in _edges(func):
+        attrs = []
+        if kind == "taken":
+            attrs.append("style=dashed")
+        elif kind == "jump":
+            attrs.append('color="red"')
+        elif kind == "indirect":
+            attrs.append("style=dotted")
+        if (id(src), id(dst)) in back_edges:
+            attrs.append("penwidth=2")
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f'  "{src.label}" -> "{dst.label}"{suffix};')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def cfg_summary(func: Function) -> str:
+    """A terminal-friendly adjacency and loop overview."""
+    info = find_loops(func)
+    dom = compute_dominators(func)
+    lines = [f"function {func.name}: {len(func.blocks)} blocks, "
+             f"{func.insn_count()} insns, {func.jump_count()} jumps, "
+             f"{len(info.loops)} loops"]
+    headers = {loop.header.label for loop in info.loops}
+    for block in func.blocks:
+        succs = ",".join(s.label for s in block.succs) or "-"
+        idom = dom.idom(block)
+        mark = " [loop header]" if block.label in headers else ""
+        lines.append(
+            f"  {block.label:>10} ({block.size():3} insns) -> {succs:30} "
+            f"idom={idom.label if idom else '-'}{mark}"
+        )
+    return "\n".join(lines)

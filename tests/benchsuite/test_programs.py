@@ -1,0 +1,61 @@
+"""Benchmark-suite plumbing tests."""
+
+import pytest
+
+from repro.benchsuite import (
+    PROGRAMS,
+    compile_benchmark,
+    program_names,
+    run_benchmark,
+)
+from repro.targets import get_target
+
+
+class TestCatalog:
+    def test_fourteen_programs(self):
+        assert len(PROGRAMS) == 14
+        assert len(program_names()) == 14
+        assert set(program_names()) == set(PROGRAMS)
+
+    def test_categories_match_table3(self):
+        categories = {p.category for p in PROGRAMS.values()}
+        assert categories == {"Utilities", "Benchmarks", "User code"}
+        utilities = [p for p in PROGRAMS.values() if p.category == "Utilities"]
+        assert len(utilities) == 8
+
+    def test_workloads_deterministic(self):
+        from repro.benchsuite.programs import _lcg_text
+
+        assert _lcg_text(5, 100) == _lcg_text(5, 100)
+        assert _lcg_text(5, 100) != _lcg_text(6, 100)
+
+
+class TestRunner:
+    def test_unknown_program_raises(self):
+        with pytest.raises(KeyError):
+            run_benchmark("doom")
+
+    def test_compile_benchmark_returns_program(self):
+        program = compile_benchmark("wc", get_target("sparc"), "none")
+        assert "main" in program.functions
+
+    def test_memoization_returns_same_object(self):
+        a = run_benchmark("wc", target="sparc", replication="none")
+        b = run_benchmark("wc", target="sparc", replication="none")
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = run_benchmark("wc", target="sparc", replication="none")
+        b = run_benchmark("wc", target="sparc", replication="none", use_cache=False)
+        assert a is not b
+        assert a.dynamic_insns == b.dynamic_insns
+
+    @pytest.mark.parametrize("name", ["wc", "sieve", "queens"])
+    def test_known_outputs(self, name):
+        expected = {
+            "wc": b"    362    1469    9000\n",
+            "sieve": b"564 primes\n",
+            "queens": b"92 solutions\n",
+        }
+        m = run_benchmark(name, target="m68020", replication="jumps")
+        assert m.output == expected[name]

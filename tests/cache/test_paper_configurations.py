@@ -1,0 +1,33 @@
+"""Tests for the Table-6 convenience sweep."""
+
+from repro.cache import (
+    PAPER_CACHE_SIZES,
+    CacheConfig,
+    simulate_cache,
+)
+from repro.cache.direct_mapped import simulate_paper_configurations
+
+
+class TestPaperConfigurations:
+    def test_all_four_sizes(self):
+        trace = [0] * 5
+        fetches = {0: [0, 16, 32, 48]}
+        results = simulate_paper_configurations(trace, fetches)
+        assert set(results) == set(PAPER_CACHE_SIZES)
+
+    def test_matches_individual_runs(self):
+        trace = [0, 0, 0]
+        fetches = {0: [0, 1024, 2048, 16]}
+        sweep = simulate_paper_configurations(trace, fetches)
+        for size in PAPER_CACHE_SIZES:
+            single = simulate_cache(trace, fetches, CacheConfig(size=size))
+            assert sweep[size].misses == single.misses
+            assert sweep[size].fetch_cost == single.fetch_cost
+
+    def test_context_switch_variant(self):
+        trace = [0] * 2000
+        fetches = {0: [0, 16]}
+        plain = simulate_paper_configurations(trace, fetches, False)
+        flushed = simulate_paper_configurations(trace, fetches, True)
+        for size in PAPER_CACHE_SIZES:
+            assert flushed[size].misses >= plain[size].misses

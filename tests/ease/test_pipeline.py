@@ -1,0 +1,68 @@
+"""Pipeline cost-model tests."""
+
+import pytest
+
+from repro.ease import PipelineModel, measure_pipeline
+from repro.frontend import compile_c
+from repro.opt import OptimizationConfig, optimize_program
+from repro.targets import get_target
+
+LOOP_SOURCE = """
+int main() {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 100; i++)
+        s += i;
+    return s;
+}
+"""
+
+
+def measured(replication, source=LOOP_SOURCE, model=PipelineModel()):
+    program = compile_c(source)
+    target = get_target("sparc")
+    optimize_program(program, target, OptimizationConfig(replication=replication))
+    return measure_pipeline(program, target, model=model)
+
+
+class TestPipelineModel:
+    def test_cycles_decompose(self):
+        result = measured("none")
+        assert result.cycles == result.instructions + 2 * result.transfers_taken
+
+    def test_straight_line_has_one_taken_transfer(self):
+        # Only the final return is taken.
+        result = measured("none", source="int main() { return 1 + 2; }")
+        assert result.transfers_taken == 1
+        assert result.transfers_not_taken == 0
+
+    def test_replication_reduces_taken_transfers(self):
+        simple = measured("none")
+        jumps = measured("jumps")
+        # The loop's per-iteration unconditional jump (always taken)
+        # becomes a fall-through + reversed branch (taken only at the
+        # loop back edge, which was taken before too) — strictly fewer
+        # taken transfers.
+        assert jumps.transfers_taken < simple.transfers_taken
+        assert jumps.cycles < simple.cycles
+
+    def test_zero_penalty_reduces_to_instruction_count(self):
+        result = measured("none", model=PipelineModel(taken_penalty=0))
+        assert result.cycles == result.instructions
+
+    def test_penalty_scaling(self):
+        cheap = measured("none", model=PipelineModel(taken_penalty=1))
+        steep = measured("none", model=PipelineModel(taken_penalty=10))
+        assert steep.cycles > cheap.cycles
+        assert steep.instructions == cheap.instructions
+
+    def test_needs_trace(self):
+        from repro.ease import Interpreter, measure_program, pipeline_cost
+
+        program = compile_c("int main() { return 0; }")
+        target = get_target("sparc")
+        optimize_program(program, target, OptimizationConfig())
+        interp = Interpreter(program)
+        m = measure_program(program, target, interpreter=interp)  # no trace
+        with pytest.raises(ValueError):
+            pipeline_cost(m, interp, program)

@@ -1,0 +1,93 @@
+"""Front-end diagnostic tests: every error path the codegen can take."""
+
+import pytest
+
+from repro.frontend import CompileError, compile_c
+
+
+def rejects(source, fragment=""):
+    with pytest.raises(CompileError) as excinfo:
+        compile_c(source)
+    if fragment:
+        assert fragment in str(excinfo.value)
+    return excinfo.value
+
+
+class TestNameErrors:
+    def test_undeclared_variable(self):
+        error = rejects("int main() { return nope; }", "undeclared")
+        assert error.line == 1
+
+    def test_undeclared_function(self):
+        rejects("int main() { return mystery(); }", "undeclared function")
+
+    def test_duplicate_local(self):
+        rejects("int main() { int x; int x; return 0; }", "duplicate")
+
+    def test_duplicate_global(self):
+        with pytest.raises(Exception):
+            compile_c("int g; int g; int main() { return 0; }")
+
+    def test_shadowing_across_scopes_is_fine(self):
+        compile_c("int main() { int x; { int x; x = 1; } return 0; }")
+
+
+class TestTypeErrors:
+    def test_assign_to_rvalue(self):
+        rejects("int main() { 1 = 2; return 0; }")
+
+    def test_deref_non_pointer(self):
+        rejects("int main() { int x; return *x; }", "dereference")
+
+    def test_index_non_pointer(self):
+        rejects("int main() { int x; return x[0]; }", "index")
+
+    def test_assign_to_array(self):
+        rejects("int a[4]; int b[4]; int main() { a = b; return 0; }")
+
+    def test_wrong_argument_count(self):
+        rejects(
+            "int f(int a, int b) { return a; } int main() { return f(1); }",
+            "arguments",
+        )
+
+
+class TestControlFlowErrors:
+    def test_break_outside_loop(self):
+        rejects("int main() { break; return 0; }", "break")
+
+    def test_continue_outside_loop(self):
+        rejects("int main() { continue; return 0; }", "continue")
+
+    def test_unsized_array_without_initializer(self):
+        rejects("int main() { int a[]; return 0; }")
+
+    def test_unsized_global_array(self):
+        rejects("int g[]; int main() { return 0; }")
+
+    def test_goto_to_undefined_label_is_caught_at_link(self):
+        # The label never appears: block construction must notice.
+        with pytest.raises(Exception):
+            compile_c("int main() { goto nowhere; return 0; }")
+
+
+class TestInitializerErrors:
+    def test_too_many_array_initializers(self):
+        rejects("int a[2] = {1, 2, 3}; int main() { return 0; }", "too many")
+
+    def test_string_too_long(self):
+        rejects('char s[2] = "abc"; int main() { return 0; }', "too long")
+
+    def test_non_constant_global_initializer(self):
+        rejects("int x; int y = x; int main() { return 0; }", "constant")
+
+    def test_address_negation_rejected(self):
+        rejects('int x = -"abc"; int main() { return 0; }')
+
+
+class TestLineNumbers:
+    def test_error_carries_line(self):
+        error = rejects(
+            "int main() {\n    int a;\n    a = b;\n    return 0;\n}"
+        )
+        assert error.line == 3

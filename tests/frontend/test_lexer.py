@@ -1,0 +1,76 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.frontend import CompileError, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("int intx for forx")
+        assert [t.kind for t in tokens[:-1]] == ["keyword", "ident", "keyword", "ident"]
+
+    def test_numbers(self):
+        tokens = tokenize("0 42 0x1F 017")
+        assert [t.value for t in tokens[:-1]] == [0, 42, 31, 15]
+
+    def test_character_literals(self):
+        tokens = tokenize(r"'a' '\n' '\0' '\\' '\x41'")
+        assert [t.value for t in tokens[:-1]] == [97, 10, 0, 92, 65]
+
+    def test_string_literals_with_escapes(self):
+        tokens = tokenize(r'"hi\n" "a\tb"')
+        assert tokens[0].value == "hi\n"
+        assert tokens[1].value == "a\tb"
+
+    def test_operators_maximal_munch(self):
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+        assert texts("a<<b") == ["a", "<<", "b"]
+        assert texts("a<b") == ["a", "<", "b"]
+        assert texts("i++ +j") == ["i", "++", "+", "j"]
+        assert texts("a&&b") == ["a", "&&", "b"]
+
+    def test_comments_stripped(self):
+        assert kinds("a /* b */ c // d\n e") == ["ident", "ident", "ident"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+        assert tokens[2].column == 3
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestLexerErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError):
+            tokenize('"abc')
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CompileError):
+            tokenize("/* never ends")
+
+    def test_unterminated_char(self):
+        with pytest.raises(CompileError):
+            tokenize("'a")
+
+    def test_newline_in_string(self):
+        with pytest.raises(CompileError):
+            tokenize('"ab\ncd"')
+
+    def test_unknown_character(self):
+        with pytest.raises(CompileError):
+            tokenize("a @ b")
+
+    def test_bad_escape(self):
+        with pytest.raises(CompileError):
+            tokenize(r"'\q'")

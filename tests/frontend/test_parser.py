@@ -1,0 +1,183 @@
+"""Parser tests: AST shapes and error reporting."""
+
+import pytest
+
+from repro.frontend import CompileError, parse
+from repro.frontend import ast_nodes as ast
+from repro.frontend.types import INT, Type
+
+
+def parse_main_body(body):
+    unit = parse("int main() { %s }" % body)
+    return unit.functions[0].body.body
+
+
+class TestDeclarations:
+    def test_global_scalar(self):
+        unit = parse("int x; char c;")
+        assert [g.name for g in unit.globals] == ["x", "c"]
+        assert unit.globals[0].var_type.kind == "int"
+        assert unit.globals[1].var_type.kind == "char"
+
+    def test_global_with_initializer(self):
+        unit = parse("int x = 42;")
+        assert isinstance(unit.globals[0].init, ast.IntLit)
+
+    def test_global_array(self):
+        unit = parse("int a[10]; char s[3][7];")
+        assert unit.globals[0].var_type.size == 40
+        assert unit.globals[1].var_type.size == 21
+
+    def test_array_initializer_list(self):
+        unit = parse("int a[3] = {1, 2, 3};")
+        assert len(unit.globals[0].init_list) == 3
+
+    def test_array_sized_by_initializer(self):
+        unit = parse("int a[] = {1, 2, 3, 4};")
+        assert unit.globals[0].var_type.length == -1  # resolved by codegen
+        assert len(unit.globals[0].init_list) == 4
+
+    def test_char_array_string_initializer(self):
+        unit = parse('char msg[] = "hey";')
+        assert unit.globals[0].init_string == "hey"
+
+    def test_pointer_declarations(self):
+        unit = parse("int *p; char **q;")
+        assert unit.globals[0].var_type.kind == "ptr"
+        assert unit.globals[1].var_type.base.kind == "ptr"
+
+    def test_multiple_declarators(self):
+        unit = parse("int a, b, c;")
+        assert [g.name for g in unit.globals] == ["a", "b", "c"]
+
+    def test_function_with_params(self):
+        unit = parse("int f(int a, char *b) { return 0; }")
+        func = unit.functions[0]
+        assert [p.name for p in func.params] == ["a", "b"]
+        assert func.params[1].param_type.kind == "ptr"
+
+    def test_array_param_decays(self):
+        unit = parse("int f(int a[10]) { return 0; }")
+        assert unit.functions[0].params[0].param_type.kind == "ptr"
+
+    def test_prototype_skipped(self):
+        unit = parse("int f(int a);\nint f(int a) { return a; }")
+        assert len(unit.functions) == 1
+
+
+class TestStatements:
+    def test_if_else(self):
+        (stmt,) = parse_main_body("if (1) ; else ;")
+        assert isinstance(stmt, ast.If)
+        assert stmt.otherwise is not None
+
+    def test_dangling_else_binds_inner(self):
+        (stmt,) = parse_main_body("if (1) if (2) ; else ;")
+        assert stmt.otherwise is None
+        assert stmt.then.otherwise is not None
+
+    def test_while_and_do(self):
+        body = parse_main_body("while (1) ; do ; while (0);")
+        assert isinstance(body[0], ast.While)
+        assert isinstance(body[1], ast.DoWhile)
+
+    def test_for_full_and_empty(self):
+        body = parse_main_body("for (;;) break; for (i = 0; i < 3; i++) ;")
+        assert isinstance(body[0], ast.For)
+        assert body[0].cond is None
+        assert body[1].step is not None
+
+    def test_goto_and_label(self):
+        body = parse_main_body("top: x = 1; goto top;")
+        assert isinstance(body[0], ast.Label)
+        assert isinstance(body[1], ast.Goto)
+
+    def test_switch_cases(self):
+        (stmt,) = parse_main_body(
+            "switch (x) { case 1: break; case 'a': break; default: break; }"
+        )
+        assert isinstance(stmt, ast.Switch)
+        assert [c.value for c in stmt.cases] == [1, 97, None]
+
+    def test_return_forms(self):
+        body = parse_main_body("return; return 5;")
+        assert body[0].value is None
+        assert isinstance(body[1].value, ast.IntLit)
+
+
+class TestExpressions:
+    def _expr(self, text):
+        (stmt,) = parse_main_body(f"x = {text};")
+        return stmt.expr.value
+
+    def test_precedence_arith_over_shift(self):
+        expr = self._expr("a << b + c")
+        assert isinstance(expr, ast.Binary) and expr.op == "<<"
+
+    def test_precedence_cmp_over_logic(self):
+        expr = self._expr("a < b && c > d")
+        assert expr.op == "&&"
+
+    def test_ternary(self):
+        expr = self._expr("a ? b : c")
+        assert isinstance(expr, ast.Ternary)
+
+    def test_assignment_right_associative(self):
+        (stmt,) = parse_main_body("a = b = 1;")
+        assert isinstance(stmt.expr.value, ast.AssignExpr)
+
+    def test_compound_assignment(self):
+        (stmt,) = parse_main_body("a += 2;")
+        assert stmt.expr.op == "+="
+
+    def test_unary_chain(self):
+        expr = self._expr("-~a")
+        assert expr.op == "-" and expr.operand.op == "~"
+
+    def test_pointer_ops(self):
+        expr = self._expr("*p + &q")
+        assert isinstance(expr.left, ast.Deref)
+        assert isinstance(expr.right, ast.AddrOf)
+
+    def test_incdec_prefix_postfix(self):
+        pre = self._expr("++a")
+        post = self._expr("a++")
+        assert pre.prefix and not post.prefix
+
+    def test_call_with_args(self):
+        expr = self._expr("f(1, g(2), 3)")
+        assert isinstance(expr, ast.CallExpr)
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[1], ast.CallExpr)
+
+    def test_indexing_nested(self):
+        expr = self._expr("m[i][j]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_sizeof(self):
+        assert self._expr("sizeof(int)").value == 4
+        assert self._expr("sizeof(char)").value == 1
+        assert self._expr("sizeof(int*)").value == 4
+
+    def test_cast_to_char_masks(self):
+        expr = self._expr("(char) x")
+        assert isinstance(expr, ast.Binary) and expr.op == "&"
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int main() { if }",
+            "int main() { return 1 }",  # missing semicolon
+            "int main() { x = ; }",
+            "int 3x;",
+            "int a[x];",  # non-literal dimension
+            "int main() { case 1: ; }",  # statement before case? no: case outside switch
+            "int main() { switch (x) { y = 1; } }",
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(CompileError):
+            parse(source)

@@ -1,0 +1,492 @@
+"""Execution tests of the compiler front-end (unoptimized code).
+
+Each test compiles a small mini-C program and checks the observable
+behaviour (exit code and output) of the raw front-end RTL, establishing
+the semantic baseline that optimization must preserve.
+"""
+
+import pytest
+
+from tests.conftest import run_c
+
+
+def exit_of(source, stdin=b""):
+    return run_c(source, stdin)[1]
+
+
+def out_of(source, stdin=b""):
+    return run_c(source, stdin)[0]
+
+
+class TestArithmetic:
+    def test_literals_and_operators(self):
+        assert exit_of("int main() { return 2 + 3 * 4; }") == 14
+        assert exit_of("int main() { return (2 + 3) * 4; }") == 20
+        assert exit_of("int main() { return 17 % 5; }") == 2
+        assert exit_of("int main() { return 1 << 10; }") == 1024
+        assert exit_of("int main() { return 255 >> 4; }") == 15
+        assert exit_of("int main() { return 12 & 10; }") == 8
+        assert exit_of("int main() { return 12 | 3; }") == 15
+        assert exit_of("int main() { return 12 ^ 10; }") == 6
+
+    def test_division_truncates_toward_zero(self):
+        assert exit_of("int main() { return 7 / 2; }") == 3
+        assert exit_of("int main() { int a; a = -7; return a / 2; }") == -3
+        assert exit_of("int main() { int a; a = -7; return a % 2; }") == -1
+
+    def test_unary_operators(self):
+        assert exit_of("int main() { int a; a = 5; return -a; }") == -5
+        assert exit_of("int main() { return ~0; }") == -1
+        assert exit_of("int main() { return !5; }") == 0
+        assert exit_of("int main() { return !0; }") == 1
+
+    def test_overflow_wraps_32bit(self):
+        assert exit_of(
+            "int main() { int a; a = 2147483647; return a + 1 < 0; }"
+        ) == 1
+
+    def test_comparisons_as_values(self):
+        assert exit_of("int main() { return (3 < 5) + (5 <= 5) + (6 > 7); }") == 2
+        assert exit_of("int main() { return (1 == 1) + (1 != 1); }") == 1
+
+    def test_logical_short_circuit(self):
+        # The right operand must not run when the left decides.
+        source = """
+        int hits;
+        int bump() { hits++; return 1; }
+        int main() {
+            hits = 0;
+            if (0 && bump()) ;
+            if (1 || bump()) ;
+            return hits;
+        }
+        """
+        assert exit_of(source) == 0
+
+    def test_ternary(self):
+        assert exit_of("int main() { return 1 ? 10 : 20; }") == 10
+        assert exit_of("int main() { return 0 ? 10 : 20; }") == 20
+
+    def test_comma_operator(self):
+        assert exit_of("int main() { int a; a = (1, 2, 3); return a; }") == 3
+
+
+class TestVariables:
+    def test_globals_initialized(self):
+        assert exit_of("int g = 41; int main() { return g + 1; }") == 42
+
+    def test_globals_zeroed_by_default(self):
+        assert exit_of("int g; int main() { return g; }") == 0
+
+    def test_locals_and_shadowing(self):
+        source = """
+        int x = 1;
+        int main() {
+            int x;
+            x = 2;
+            {
+                int x;
+                x = 3;
+                if (x != 3) return 1;
+            }
+            return x;
+        }
+        """
+        assert exit_of(source) == 2
+
+    def test_compound_assignment(self):
+        source = """
+        int main() {
+            int a;
+            a = 10;
+            a += 5; a -= 3; a *= 2; a /= 4; a %= 4;
+            return a;
+        }
+        """
+        assert exit_of(source) == 2
+
+    def test_incdec_semantics(self):
+        source = """
+        int main() {
+            int a, b, c;
+            a = 5;
+            b = a++;
+            c = ++a;
+            return b * 100 + c * 10 + a;
+        }
+        """
+        assert exit_of(source) == 577
+
+    def test_char_local_wraps(self):
+        source = """
+        int main() {
+            char c;
+            c = 250;
+            c += 10;
+            return c;
+        }
+        """
+        assert exit_of(source) == 4  # (250 + 10) mod 256
+
+
+class TestArraysAndPointers:
+    def test_local_array(self):
+        source = """
+        int main() {
+            int a[5];
+            int i, s;
+            for (i = 0; i < 5; i++) a[i] = i * i;
+            s = 0;
+            for (i = 0; i < 5; i++) s += a[i];
+            return s;
+        }
+        """
+        assert exit_of(source) == 30
+
+    def test_two_dimensional_array(self):
+        source = """
+        int m[3][4];
+        int main() {
+            int i, j, s;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 4; j++)
+                    m[i][j] = i * 10 + j;
+            s = m[0][0] + m[1][2] + m[2][3];
+            return s;
+        }
+        """
+        assert exit_of(source) == 35
+
+    def test_pointer_deref_and_addrof(self):
+        source = """
+        int main() {
+            int x;
+            int *p;
+            x = 7;
+            p = &x;
+            *p = *p + 1;
+            return x;
+        }
+        """
+        assert exit_of(source) == 8
+
+    def test_pointer_arithmetic_scales(self):
+        source = """
+        int a[4];
+        int main() {
+            int *p;
+            a[0] = 10; a[1] = 20; a[2] = 30; a[3] = 40;
+            p = &a[0];
+            p = p + 2;
+            return *p + p[1];
+        }
+        """
+        assert exit_of(source) == 70
+
+    def test_pointer_difference(self):
+        source = """
+        int a[10];
+        int main() {
+            int *p;
+            int *q;
+            p = &a[2];
+            q = &a[9];
+            return q - p;
+        }
+        """
+        assert exit_of(source) == 7
+
+    def test_char_pointer_walk(self):
+        source = """
+        int main() {
+            char *s;
+            int n;
+            s = "hello";
+            n = 0;
+            while (*s != 0) {
+                n++;
+                s++;
+            }
+            return n;
+        }
+        """
+        assert exit_of(source) == 5
+
+    def test_array_initializer_local(self):
+        source = """
+        int main() {
+            int a[] = {3, 1, 4, 1, 5};
+            return a[0] + a[2] + a[4];
+        }
+        """
+        assert exit_of(source) == 12
+
+    def test_char_array_string_init(self):
+        source = """
+        int main() {
+            char buf[8] = "ab";
+            return buf[0] + buf[1] + buf[2];
+        }
+        """
+        assert exit_of(source) == 97 + 98
+
+    def test_global_array_initializers(self):
+        source = """
+        int squares[4] = {0, 1, 4, 9};
+        char tag[] = "xy";
+        int main() { return squares[3] + tag[1]; }
+        """
+        assert exit_of(source) == 9 + 121
+
+    def test_string_pointer_global(self):
+        source = """
+        char *msg = "hi";
+        int main() { return msg[0]; }
+        """
+        assert exit_of(source) == ord("h")
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        assert exit_of(
+            "int main() { int i; i = 0; while (i < 10) i++; return i; }"
+        ) == 10
+
+    def test_do_while_runs_once(self):
+        assert exit_of(
+            "int main() { int i; i = 100; do i++; while (i < 5); return i; }"
+        ) == 101
+
+    def test_for_zero_iterations(self):
+        assert exit_of(
+            "int main() { int i, n; n = 0; for (i = 5; i < 5; i++) n++; return n; }"
+        ) == 0
+
+    def test_break_and_continue(self):
+        source = """
+        int main() {
+            int i, s;
+            s = 0;
+            for (i = 0; i < 100; i++) {
+                if (i % 2) continue;
+                if (i >= 10) break;
+                s += i;
+            }
+            return s;
+        }
+        """
+        assert exit_of(source) == 20  # 0+2+4+6+8
+
+    def test_nested_loop_break_inner_only(self):
+        source = """
+        int main() {
+            int i, j, n;
+            n = 0;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 10; j++) {
+                    if (j == 2) break;
+                    n++;
+                }
+            return n;
+        }
+        """
+        assert exit_of(source) == 6
+
+    def test_goto(self):
+        source = """
+        int main() {
+            int n;
+            n = 0;
+        again:
+            n++;
+            if (n < 5) goto again;
+            return n;
+        }
+        """
+        assert exit_of(source) == 5
+
+    def test_switch_dense_uses_all_cases(self):
+        source = """
+        int classify(int x) {
+            switch (x) {
+            case 0: return 10;
+            case 1: return 11;
+            case 2: return 12;
+            case 3: return 13;
+            case 4: return 14;
+            default: return -1;
+            }
+        }
+        int main() {
+            return classify(0) + classify(3) + classify(4) + classify(9);
+        }
+        """
+        assert exit_of(source) == 10 + 13 + 14 - 1
+
+    def test_switch_fallthrough(self):
+        source = """
+        int main() {
+            int n, x;
+            n = 0;
+            x = 1;
+            switch (x) {
+            case 1: n += 1;
+            case 2: n += 10;
+                break;
+            case 3: n += 100;
+            }
+            return n;
+        }
+        """
+        assert exit_of(source) == 11
+
+    def test_sparse_switch(self):
+        source = """
+        int main() {
+            int x;
+            x = 1000;
+            switch (x) {
+            case 5: return 1;
+            case 1000: return 2;
+            case -3: return 3;
+            }
+            return 4;
+        }
+        """
+        assert exit_of(source) == 2
+
+
+class TestFunctions:
+    def test_arguments_and_return(self):
+        source = """
+        int add3(int a, int b, int c) { return a + b + c; }
+        int main() { return add3(1, 2, 3); }
+        """
+        assert exit_of(source) == 6
+
+    def test_recursion(self):
+        source = """
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(12); }
+        """
+        assert exit_of(source) == 144
+
+    def test_nested_calls_do_not_clobber_args(self):
+        source = """
+        int sub(int a, int b) { return a - b; }
+        int main() { return sub(sub(10, 4), sub(3, 2)); }
+        """
+        assert exit_of(source) == 5
+
+    def test_mutual_recursion_with_prototype(self):
+        source = """
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+        int main() { return is_even(10) * 10 + is_odd(7); }
+        """
+        assert exit_of(source) == 11
+
+    def test_void_function(self):
+        source = """
+        int counter;
+        void bump() { counter += 2; }
+        int main() { bump(); bump(); return counter; }
+        """
+        assert exit_of(source) == 4
+
+    def test_pointer_argument_mutation(self):
+        source = """
+        void set(int *p, int v) { *p = v; }
+        int main() { int x; x = 0; set(&x, 9); return x; }
+        """
+        assert exit_of(source) == 9
+
+    def test_array_argument(self):
+        source = """
+        int sum(int *a, int n) {
+            int i, s;
+            s = 0;
+            for (i = 0; i < n; i++) s += a[i];
+            return s;
+        }
+        int data[4] = {1, 2, 3, 4};
+        int main() { return sum(data, 4); }
+        """
+        assert exit_of(source) == 10
+
+
+class TestRuntime:
+    def test_getchar_putchar(self):
+        source = """
+        int main() {
+            int c;
+            c = getchar();
+            while (c != -1) {
+                putchar(c + 1);
+                c = getchar();
+            }
+            return 0;
+        }
+        """
+        assert out_of(source, b"abc") == b"bcd"
+
+    def test_printf_formats(self):
+        source = r"""
+        int main() {
+            printf("%d|%5d|%-5d|%05d|%c|%s|%o|%x|%%\n",
+                   42, 42, 42, 42, 'Z', "str", 8, 255);
+            return 0;
+        }
+        """
+        assert out_of(source) == b"42|   42|42   |00042|Z|str|10|ff|%\n"
+
+    def test_printf_negative_numbers(self):
+        source = r"""
+        int main() { printf("%d %5d %05d\n", -7, -7, -7); return 0; }
+        """
+        assert out_of(source) == b"-7    -7 -0007\n"
+
+    def test_puts(self):
+        assert out_of('int main() { puts("line"); return 0; }') == b"line\n"
+
+    def test_string_builtins(self):
+        source = """
+        char buf[16];
+        int main() {
+            strcpy(buf, "wxyz");
+            return strlen(buf) * 10 + (strcmp(buf, "wxyz") == 0);
+        }
+        """
+        assert exit_of(source) == 41
+
+    def test_malloc(self):
+        source = """
+        int main() {
+            int *p;
+            p = malloc(8);
+            p[0] = 6;
+            p[1] = 7;
+            return p[0] * p[1];
+        }
+        """
+        assert exit_of(source) == 42
+
+    def test_atoi_and_abs(self):
+        source = """
+        int main() { return atoi("-25") + abs(-5) + atoi("17"); }
+        """
+        assert exit_of(source) == -3
+
+    def test_exit_code(self):
+        assert exit_of("int main() { exit(3); return 0; }") == 3
+
+    def test_memset(self):
+        source = """
+        char buf[8];
+        int main() { memset(buf, 7, 8); return buf[0] + buf[7]; }
+        """
+        assert exit_of(source) == 14

@@ -1,0 +1,229 @@
+"""More front-end execution tests: trickier C shapes from the benchmarks."""
+
+from tests.conftest import run_c
+
+
+def exit_of(source, stdin=b""):
+    return run_c(source, stdin)[1]
+
+
+def out_of(source, stdin=b""):
+    return run_c(source, stdin)[0]
+
+
+class TestExpressionShapes:
+    def test_nested_ternary(self):
+        source = """
+        int classify(int x) { return x < 0 ? -1 : x == 0 ? 0 : 1; }
+        int main() { return classify(-5) + 10 * classify(0) + 100 * classify(9); }
+        """
+        assert exit_of(source) == -1 + 0 + 100
+
+    def test_comparison_inside_arithmetic(self):
+        assert exit_of("int main() { int a; a = 7; return (a > 3) * 50 + (a > 10); }") == 50
+
+    def test_comma_in_for(self):
+        source = """
+        int main() {
+            int i, j, s;
+            s = 0;
+            for (i = 0, j = 10; i < j; i++, j--)
+                s++;
+            return s;
+        }
+        """
+        assert exit_of(source) == 5
+
+    def test_assignment_value_chains(self):
+        assert exit_of("int main() { int a, b, c; a = b = c = 4; return a + b + c; }") == 12
+
+    def test_compound_shift_assignments(self):
+        source = """
+        int main() {
+            int a;
+            a = 1;
+            a <<= 6;
+            a >>= 2;
+            a |= 3;
+            a &= 30;
+            return a;
+        }
+        """
+        assert exit_of(source) == ((1 << 6) >> 2 | 3) & 30
+
+    def test_logical_not_chains(self):
+        assert exit_of("int main() { return !!5 + !!0; }") == 1
+
+    def test_deeply_nested_parens(self):
+        assert exit_of("int main() { return ((((1 + 2)) * ((3)))); }") == 9
+
+
+class TestDataStructures:
+    def test_array_of_string_pointers(self):
+        source = """
+        char *names[3];
+        int main() {
+            names[0] = "zero";
+            names[1] = "one";
+            names[2] = "two";
+            return strlen(names[0]) + strlen(names[1]) * 10;
+        }
+        """
+        assert exit_of(source) == 4 + 30
+
+    def test_global_pointer_array_initializer(self):
+        source = """
+        char *digits[] = {"zero", "one", "two"};
+        int main() { return digits[2][1]; }
+        """
+        assert exit_of(source) == ord("w")
+
+    def test_2d_char_array(self):
+        source = """
+        char grid[3][4];
+        int main() {
+            int r, c;
+            for (r = 0; r < 3; r++)
+                for (c = 0; c < 4; c++)
+                    grid[r][c] = 'a' + r * 4 + c;
+            return grid[2][3];
+        }
+        """
+        assert exit_of(source) == ord("a") + 11
+
+    def test_pointer_into_2d_row(self):
+        source = """
+        int m[2][3];
+        int main() {
+            int *row;
+            m[1][0] = 5;
+            m[1][2] = 7;
+            row = m[1];
+            return row[0] + row[2];
+        }
+        """
+        assert exit_of(source) == 12
+
+    def test_pointer_to_pointer_via_args(self):
+        source = """
+        void set(int *slot) { *slot = 99; }
+        int cells[4];
+        int main() {
+            set(&cells[2]);
+            return cells[2];
+        }
+        """
+        assert exit_of(source) == 99
+
+    def test_string_walk_two_pointers(self):
+        source = """
+        int same(char *a, char *b) {
+            while (*a != 0 && *a == *b) {
+                a++;
+                b++;
+            }
+            return *a == *b;
+        }
+        int main() { return same("abc", "abc") * 10 + same("abc", "abd"); }
+        """
+        assert exit_of(source) == 10
+
+
+class TestRecursionShapes:
+    def test_two_argument_recursion(self):
+        source = """
+        int ack(int m, int n) {
+            if (m == 0) return n + 1;
+            if (n == 0) return ack(m - 1, 1);
+            return ack(m - 1, ack(m, n - 1));
+        }
+        int main() { return ack(2, 3); }
+        """
+        assert exit_of(source) == 9
+
+    def test_recursion_with_locals_and_arrays(self):
+        source = """
+        int depth_sum(int d) {
+            int local[3];
+            int i, s;
+            for (i = 0; i < 3; i++)
+                local[i] = d * 10 + i;
+            if (d == 0)
+                return local[2];
+            s = depth_sum(d - 1);
+            return s + local[0];
+        }
+        int main() { return depth_sum(3); }
+        """
+        # d=0 -> 2; d=1 adds 10; d=2 adds 20; d=3 adds 30.
+        assert exit_of(source) == 62
+
+    def test_recursion_depth_limited_by_memory_not_crash(self):
+        source = """
+        int down(int n) {
+            if (n == 0) return 0;
+            return 1 + down(n - 1);
+        }
+        int main() { return down(200); }
+        """
+        assert exit_of(source) == 200
+
+
+class TestIOShapes:
+    def test_line_splitting(self):
+        source = """
+        int main() {
+            int c, lines;
+            lines = 0;
+            c = getchar();
+            while (c != -1) {
+                if (c == '\\n')
+                    lines++;
+                c = getchar();
+            }
+            printf("%d", lines);
+            return 0;
+        }
+        """
+        assert out_of(source, b"a\nbb\nccc\n") == b"3"
+
+    def test_printf_interleaves_with_putchar(self):
+        source = r"""
+        int main() {
+            putchar('[');
+            printf("%d-%d", 1, 2);
+            putchar(']');
+            return 0;
+        }
+        """
+        assert out_of(source) == b"[1-2]"
+
+
+class TestOptimizedConsistency:
+    """The same tricky shapes, compiled through the full pipeline."""
+
+    SOURCES = [
+        "int main() { int a; a = 5; return a > 3 ? a * 2 : a / 0; }",
+        """
+        int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int main() { return fib(10); }
+        """,
+        """
+        int main() {
+            int i, j, s;
+            s = 0;
+            for (i = 0; i < 6; i++)
+                for (j = i; j < 6; j++)
+                    if ((i + j) % 3 == 0)
+                        s += i * j;
+            return s;
+        }
+        """,
+    ]
+
+    def test_all_configs_agree(self):
+        for source in self.SOURCES:
+            reference = run_c(source)
+            for target in ("m68020", "sparc"):
+                for replication in ("none", "loops", "jumps"):
+                    assert run_c(source, target=target, replication=replication) == reference

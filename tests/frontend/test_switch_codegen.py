@@ -1,0 +1,73 @@
+"""Switch lowering: jump tables for dense cases, compare chains otherwise."""
+
+from repro.frontend import compile_c
+from repro.rtl import Compare, CondBranch, IndirectJump
+from tests.conftest import run_c
+
+DENSE = """
+int pick(int x) {
+    switch (x) {
+    case 0: return 10;
+    case 1: return 11;
+    case 2: return 12;
+    case 3: return 13;
+    case 4: return 14;
+    case 5: return 15;
+    default: return -1;
+    }
+}
+int main() { return pick(%d); }
+"""
+
+SPARSE = """
+int pick(int x) {
+    switch (x) {
+    case 1: return 10;
+    case 100: return 11;
+    case 10000: return 12;
+    default: return -1;
+    }
+}
+int main() { return pick(%d); }
+"""
+
+
+def lowering_of(source):
+    program = compile_c(source % 0)
+    return program.functions["pick"]
+
+
+class TestLowering:
+    def test_dense_switch_uses_jump_table(self):
+        func = lowering_of(DENSE)
+        assert any(isinstance(i, IndirectJump) for i in func.insns())
+
+    def test_dense_switch_bounds_checked(self):
+        func = lowering_of(DENSE)
+        # Two guard branches (below/above) precede the indirect jump.
+        branches = [i for i in func.insns() if isinstance(i, CondBranch)]
+        assert len(branches) >= 2
+
+    def test_sparse_switch_uses_compare_chain(self):
+        func = lowering_of(SPARSE)
+        assert not any(isinstance(i, IndirectJump) for i in func.insns())
+        compares = [i for i in func.insns() if isinstance(i, Compare)]
+        assert len(compares) == 3
+
+    def test_dense_semantics_all_values(self):
+        for x in (-5, 0, 1, 2, 3, 4, 5, 6, 99):
+            expected = 10 + x if 0 <= x <= 5 else -1
+            assert run_c(DENSE % x)[1] == expected
+
+    def test_sparse_semantics_all_values(self):
+        cases = {1: 10, 100: 11, 10000: 12}
+        for x in (-1, 0, 1, 2, 99, 100, 101, 9999, 10000, 10001):
+            assert run_c(SPARSE % x)[1] == cases.get(x, -1)
+
+    def test_dense_switch_survives_optimization(self):
+        for x in (0, 3, 5, 7):
+            reference = run_c(DENSE % x)
+            for target in ("m68020", "sparc"):
+                for replication in ("none", "jumps"):
+                    got = run_c(DENSE % x, target=target, replication=replication)
+                    assert got == reference

@@ -1,0 +1,81 @@
+"""Differential testing of the whole pipeline on the Table-3 suite.
+
+The observable behaviour (stdout + exit code) of every benchmark must be
+identical across: unoptimized front-end output, and both targets under
+all three paper configurations (SIMPLE / LOOPS / JUMPS).
+"""
+
+import pytest
+
+from repro.benchsuite import PROGRAMS
+from repro.ease import Interpreter, measure_program
+from repro.frontend import compile_c
+from repro.opt import OptimizationConfig, optimize_program
+from repro.targets import get_target
+
+# Small programs run in every configuration; the heavyweights get a
+# reduced matrix so the suite stays fast.
+FAST_PROGRAMS = [
+    "banner",
+    "cal",
+    "deroff",
+    "od",
+    "sort",
+    "wc",
+    "queens",
+    "quicksort",
+    "grep",
+]
+HEAVY_PROGRAMS = ["compact", "bubblesort", "matmult", "sieve", "mincost"]
+
+_reference_cache = {}
+
+
+def reference(name):
+    if name not in _reference_cache:
+        bench = PROGRAMS[name]
+        result = Interpreter(compile_c(bench.source)).run(stdin=bench.stdin)
+        _reference_cache[name] = (result.output, result.exit_code)
+    return _reference_cache[name]
+
+
+def check(name, target_name, replication):
+    bench = PROGRAMS[name]
+    program = compile_c(bench.source)
+    target = get_target(target_name)
+    optimize_program(program, target, OptimizationConfig(replication=replication))
+    m = measure_program(program, target, stdin=bench.stdin)
+    ref_out, ref_code = reference(name)
+    assert m.output == ref_out, f"{name}/{target_name}/{replication} output differs"
+    assert m.exit_code == ref_code
+    return m
+
+
+@pytest.mark.parametrize("replication", ["none", "loops", "jumps"])
+@pytest.mark.parametrize("target_name", ["m68020", "sparc"])
+@pytest.mark.parametrize("name", FAST_PROGRAMS)
+def test_fast_programs_full_matrix(name, target_name, replication):
+    check(name, target_name, replication)
+
+
+@pytest.mark.parametrize("name", HEAVY_PROGRAMS)
+def test_heavy_programs_jumps_config(name):
+    check(name, "sparc", "jumps")
+
+
+@pytest.mark.parametrize("name", ["compact", "sieve"])
+def test_heavy_programs_m68020(name):
+    check(name, "m68020", "jumps")
+
+
+@pytest.mark.parametrize("name", FAST_PROGRAMS)
+def test_jumps_eliminates_dynamic_jumps(name):
+    m = check(name, "sparc", "jumps")
+    assert m.dynamic_jumps == 0
+
+
+@pytest.mark.parametrize("name", FAST_PROGRAMS)
+def test_replication_never_slows_execution(name):
+    simple = check(name, "sparc", "none")
+    jumps = check(name, "sparc", "jumps")
+    assert jumps.dynamic_insns <= simple.dynamic_insns

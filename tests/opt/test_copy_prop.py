@@ -1,0 +1,121 @@
+"""Global single-def copy-propagation tests."""
+
+from repro.opt import propagate_copies
+from repro.rtl import Reg, format_insn
+from tests.conftest import function_from_text
+
+
+def texts(func):
+    return [format_insn(i) for i in func.insns()]
+
+
+class TestCopyProp:
+    def test_single_def_copy_propagated(self):
+        func = function_from_text(
+            "f",
+            """
+            v[1]=d[9]+1;
+            v[2]=v[1];
+            rv[0]=v[2]+v[2];
+            PC=RT;
+            """,
+        )
+        assert propagate_copies(func)
+        assert "rv[0]=v[1]+v[1];" in texts(func)
+
+    def test_chain_resolved(self):
+        func = function_from_text(
+            "f",
+            """
+            v[1]=d[9];
+            v[2]=v[1];
+            v[3]=v[2];
+            rv[0]=v[3];
+            PC=RT;
+            """,
+        )
+        propagate_copies(func)
+        assert "rv[0]=v[1];" in texts(func)
+
+    def test_cross_block_propagation(self):
+        # The whole point: value numbering is block-local, this is global.
+        func = function_from_text(
+            "f",
+            """
+            v[1]=d[9]*4;
+            v[2]=v[1];
+            NZ=d[0]?1;
+            PC=NZ==0,L1;
+            rv[0]=v[2];
+            PC=RT;
+            L1:
+              rv[0]=v[2]+1;
+              PC=RT;
+            """,
+        )
+        assert propagate_copies(func)
+        assert "rv[0]=v[1];" in texts(func)
+        assert "rv[0]=v[1]+1;" in texts(func)
+
+    def test_multiply_defined_source_not_propagated(self):
+        func = function_from_text(
+            "f",
+            """
+            v[1]=1;
+            v[2]=v[1];
+            v[1]=2;
+            rv[0]=v[2];
+            PC=RT;
+            """,
+        )
+        assert not propagate_copies(func)
+        assert "rv[0]=v[2];" in texts(func)
+
+    def test_multiply_defined_destination_not_propagated(self):
+        func = function_from_text(
+            "f",
+            """
+            v[1]=d[9];
+            v[2]=v[1];
+            v[2]=0;
+            rv[0]=v[2];
+            PC=RT;
+            """,
+        )
+        assert not propagate_copies(func)
+
+    def test_machine_registers_untouched(self):
+        func = function_from_text(
+            "f",
+            """
+            d[1]=d[9];
+            rv[0]=d[1];
+            PC=RT;
+            """,
+        )
+        assert not propagate_copies(func)
+
+    def test_semantics_preserved(self):
+        from repro.cfg import Program
+        from repro.core import clone_function
+        from repro.ease import Interpreter
+
+        func = function_from_text(
+            "f",
+            """
+            d[9]=17;
+            v[1]=d[9]+4;
+            v[2]=v[1];
+            v[3]=v[2];
+            rv[0]=v[3]*v[2];
+            PC=RT;
+            """,
+        )
+        original = clone_function(func)
+        original.name = "main"
+        propagate_copies(func)
+        func.name = "main"
+        p1, p2 = Program(), Program()
+        p1.add_function(original)
+        p2.add_function(func)
+        assert Interpreter(p1).run().exit_code == Interpreter(p2).run().exit_code

@@ -1,0 +1,278 @@
+"""Legalization and combining tests."""
+
+import pytest
+
+from repro.opt import Liveness, combine, legalize
+from repro.rtl import Assign, Const, Mem, Reg, format_insn, parse_insn
+from repro.targets import get_target
+from tests.conftest import function_from_text
+
+
+@pytest.fixture
+def m68k():
+    return get_target("m68020")
+
+
+@pytest.fixture
+def sparc():
+    return get_target("sparc")
+
+
+class TestLegalize:
+    def test_sparc_splits_memory_alu(self, sparc):
+        func = function_from_text(
+            "f",
+            """
+            v[1]=L[FP+x.]+L[FP+y.];
+            rv[0]=v[1];
+            PC=RT;
+            """,
+        )
+        assert legalize(func, sparc)
+        for insn in func.insns():
+            assert sparc.legal(insn)
+
+    def test_sparc_materializes_big_immediates(self, sparc):
+        func = function_from_text("f", "L[r[8]]=99999;\nPC=RT;")
+        legalize(func, sparc)
+        for insn in func.insns():
+            assert sparc.legal(insn)
+        # A store of a big constant needs it in a register first.
+        texts = [format_insn(i) for i in func.insns()]
+        assert any("=99999" in t and not t.startswith("L[") for t in texts)
+
+    def test_sparc_flattens_three_term_address(self, sparc):
+        func = function_from_text("f", "v[1]=L[r[8]+r[9]+12];\nPC=RT;")
+        legalize(func, sparc)
+        for insn in func.insns():
+            assert sparc.legal(insn)
+
+    def test_m68020_accepts_memory_operands(self, m68k):
+        func = function_from_text("f", "d[0]=d[0]+L[FP+x.];\nPC=RT;")
+        assert not legalize(func, m68k)  # already legal, unchanged
+
+    def test_m68020_splits_double_memory_alu(self, m68k):
+        func = function_from_text("f", "d[0]=L[a[0]]+L[a[1]];\nPC=RT;")
+        assert legalize(func, m68k)
+        for insn in func.insns():
+            assert m68k.legal(insn)
+
+    def test_nested_expressions_flattened(self, sparc):
+        func = function_from_text("f", "v[1]=(v[2]+v[3])*(v[4]-v[5]);\nPC=RT;")
+        legalize(func, sparc)
+        for insn in func.insns():
+            assert sparc.legal(insn)
+
+    def test_legalize_is_idempotent(self, sparc):
+        func = function_from_text(
+            "f", "v[1]=L[FP+a.+v[2]*4];\nL[FP+b.]=v[1]+123456;\nPC=RT;"
+        )
+        legalize(func, sparc)
+        assert not legalize(func, sparc)
+
+
+class TestCombine:
+    def test_load_folds_into_alu_on_m68020(self, m68k):
+        func = function_from_text(
+            "f",
+            """
+            v[1]=L[a[0]];
+            d[0]=d[0]+v[1];
+            rv[0]=d[0];
+            PC=RT;
+            """,
+        )
+        assert combine(func, m68k)
+        texts = [format_insn(i) for i in func.insns()]
+        assert "d[0]=d[0]+L[a[0]];" in texts
+
+    def test_load_not_folded_on_sparc(self, sparc):
+        func = function_from_text(
+            "f",
+            """
+            v[1]=L[r[9]];
+            r[8]=r[8]+v[1];
+            rv[0]=r[8];
+            PC=RT;
+            """,
+        )
+        assert not combine(func, sparc)
+
+    def test_store_combining_move(self, m68k):
+        func = function_from_text(
+            "f",
+            """
+            v[1]=d[0];
+            L[a[0]]=v[1];
+            PC=RT;
+            """,
+        )
+        assert combine(func, m68k)
+        texts = [format_insn(i) for i in func.insns()]
+        assert "L[a[0]]=d[0];" in texts
+
+    def test_store_combining_read_modify_write(self, m68k):
+        func = function_from_text(
+            "f",
+            """
+            v[1]=L[a[0]]+1;
+            L[a[0]]=v[1];
+            PC=RT;
+            """,
+        )
+        assert combine(func, m68k)
+        texts = [format_insn(i) for i in func.insns()]
+        assert "L[a[0]]=L[a[0]]+1;" in texts
+
+    def test_alu_result_not_stored_directly(self, m68k):
+        # The 68020 has no "store d0+1 to memory" instruction; the def
+        # must stay split.
+        func = function_from_text(
+            "f",
+            """
+            v[1]=d[0]+1;
+            L[a[0]]=v[1];
+            PC=RT;
+            """,
+        )
+        assert not combine(func, m68k)
+
+    def test_store_blocks_load_motion(self, m68k):
+        func = function_from_text(
+            "f",
+            """
+            v[1]=L[a[0]];
+            L[a[1]]=d[5];
+            d[0]=d[0]+v[1];
+            rv[0]=d[0];
+            PC=RT;
+            """,
+        )
+        before = [format_insn(i) for i in func.insns()]
+        combine(func, m68k)
+        after = [format_insn(i) for i in func.insns()]
+        # The load of a[0] may not move past the possibly-aliasing store.
+        assert "v[1]=L[a[0]];" in after
+
+    def test_redefined_operand_blocks_combining(self, m68k):
+        func = function_from_text(
+            "f",
+            """
+            v[1]=d[1]+1;
+            d[1]=0;
+            d[0]=v[1];
+            rv[0]=d[0];
+            PC=RT;
+            """,
+        )
+        combine(func, m68k)
+        texts = [format_insn(i) for i in func.insns()]
+        assert "v[1]=d[1]+1;" in texts  # moving it would read the new d[1]
+
+    def test_two_uses_not_combined(self, m68k):
+        func = function_from_text(
+            "f",
+            """
+            v[1]=L[a[0]];
+            d[0]=v[1]+v[1];
+            rv[0]=d[0];
+            PC=RT;
+            """,
+        )
+        # d[0]=L[a[0]]+L[a[0]] would be illegal (two memory operands), and
+        # v[1] has two textual uses anyway; the load must stay.
+        combine(func, m68k)
+        texts = [format_insn(i) for i in func.insns()]
+        assert "v[1]=L[a[0]];" in texts
+
+    def test_live_out_def_kept(self, m68k):
+        func = function_from_text(
+            "f",
+            """
+            v[1]=L[a[0]];
+            NZ=d[0]?1;
+            PC=NZ==0,L1;
+            d[0]=v[1];
+            L1:
+              rv[0]=v[1];
+              PC=RT;
+            """,
+        )
+        combine(func, m68k)
+        texts = [format_insn(i) for i in func.insns()]
+        assert "v[1]=L[a[0]];" in texts
+
+    def test_immediate_folding(self, sparc):
+        func = function_from_text(
+            "f",
+            """
+            v[1]=5;
+            r[8]=r[9]+v[1];
+            rv[0]=r[8];
+            PC=RT;
+            """,
+        )
+        assert combine(func, sparc)
+        texts = [format_insn(i) for i in func.insns()]
+        # Combining cascades: the immediate folds into the add, and the
+        # add's (now single-use) result folds into the rv move.
+        assert "rv[0]=r[9]+5;" in texts
+
+
+class TestLiveness:
+    def test_straightline(self):
+        func = function_from_text(
+            "f",
+            """
+            d[0]=1;
+            d[1]=d[0]+1;
+            rv[0]=d[1];
+            PC=RT;
+            """,
+        )
+        from repro.rtl import Reg as R
+
+        liveness = Liveness(func)
+        block = func.blocks[0]
+        live_in = liveness.block_live_in(block)
+        assert R("d", 0) not in live_in  # defined before use
+
+    def test_branch_union(self):
+        func = function_from_text(
+            "f",
+            """
+            NZ=d[9]?1;
+            PC=NZ==0,L1;
+            rv[0]=d[1];
+            PC=RT;
+            L1:
+              rv[0]=d[2];
+              PC=RT;
+            """,
+        )
+        from repro.rtl import Reg as R
+
+        liveness = Liveness(func)
+        live_out = liveness.block_live_out(func.blocks[0])
+        assert R("d", 1) in live_out
+        assert R("d", 2) in live_out
+
+    def test_loop_live_range(self):
+        func = function_from_text(
+            "f",
+            """
+            d[0]=0;
+            L1:
+              d[0]=d[0]+d[7];
+              NZ=d[0]?10;
+              PC=NZ<0,L1;
+            rv[0]=d[0];
+            PC=RT;
+            """,
+        )
+        from repro.rtl import Reg as R
+
+        liveness = Liveness(func)
+        loop_block = func.blocks[1]
+        assert R("d", 7) in liveness.block_live_in(loop_block)
+        assert R("d", 0) in liveness.block_live_out(loop_block)

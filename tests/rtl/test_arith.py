@@ -1,0 +1,87 @@
+"""32-bit arithmetic semantics tests (shared by folding and interpreter)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtl.arith import compare_relation, eval_binop, eval_unop, wrap32
+
+i32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+class TestWrap:
+    def test_identity_in_range(self):
+        assert wrap32(0) == 0
+        assert wrap32(2**31 - 1) == 2**31 - 1
+        assert wrap32(-(2**31)) == -(2**31)
+
+    def test_overflow_wraps(self):
+        assert wrap32(2**31) == -(2**31)
+        assert wrap32(2**32) == 0
+        assert wrap32(-(2**31) - 1) == 2**31 - 1
+
+    @given(st.integers(-(2**40), 2**40))
+    def test_always_in_range(self, value):
+        assert -(2**31) <= wrap32(value) <= 2**31 - 1
+
+    @given(st.integers(-(2**40), 2**40))
+    def test_congruent_mod_2_32(self, value):
+        assert (wrap32(value) - value) % (2**32) == 0
+
+
+class TestBinops:
+    def test_division_truncates_toward_zero(self):
+        assert eval_binop("/", 7, 2) == 3
+        assert eval_binop("/", -7, 2) == -3
+        assert eval_binop("/", 7, -2) == -3
+        assert eval_binop("/", -7, -2) == 3
+
+    def test_remainder_sign_follows_dividend(self):
+        assert eval_binop("%", 7, 3) == 1
+        assert eval_binop("%", -7, 3) == -1
+        assert eval_binop("%", 7, -3) == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            eval_binop("/", 1, 0)
+        with pytest.raises(ZeroDivisionError):
+            eval_binop("%", 1, 0)
+
+    def test_shift_counts_masked(self):
+        assert eval_binop("<<", 1, 33) == 2  # 33 & 31 == 1
+        assert eval_binop(">>", 4, 34) == 1
+
+    def test_arithmetic_shift_right(self):
+        assert eval_binop(">>", -8, 1) == -4
+
+    @given(i32, i32)
+    def test_div_rem_identity(self, a, b):
+        if b == 0:
+            return
+        q = eval_binop("/", a, b)
+        r = eval_binop("%", a, b)
+        assert wrap32(q * b + r) == a
+
+    @given(i32, i32)
+    def test_results_are_32bit(self, a, b):
+        for op in ("+", "-", "*", "&", "|", "^"):
+            result = eval_binop(op, a, b)
+            assert -(2**31) <= result <= 2**31 - 1
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            eval_binop("**", 2, 3)
+
+
+class TestUnopsAndRelations:
+    def test_negate_and_complement(self):
+        assert eval_unop("-", 5) == -5
+        assert eval_unop("-", -(2**31)) == -(2**31)  # INT_MIN wraps
+        assert eval_unop("~", 0) == -1
+
+    @given(i32, i32)
+    def test_relations_are_consistent(self, a, b):
+        assert compare_relation("<", a, b) == (a < b)
+        assert compare_relation("==", a, b) == (a == b)
+        assert compare_relation("<", a, b) != compare_relation(">=", a, b)
+        assert compare_relation(">", a, b) != compare_relation("<=", a, b)
+        assert compare_relation("==", a, b) != compare_relation("!=", a, b)

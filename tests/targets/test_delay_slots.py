@@ -1,0 +1,104 @@
+"""Delay-slot filling tests (SPARC model)."""
+
+from repro.rtl import Nop
+from repro.targets import count_nops, fill_delay_slots
+from tests.conftest import function_from_text
+
+
+def nops_in(func):
+    return count_nops(func)
+
+
+class TestDelaySlotFilling:
+    def test_slot_filled_by_preceding_assign(self):
+        func = function_from_text(
+            "f",
+            """
+            d[0]=1;
+            PC=L1;
+            L1:
+              PC=RT;
+            """,
+        )
+        inserted = fill_delay_slots(func)
+        # The jump's slot is filled by d[0]=1; the bare return needs a nop.
+        assert inserted == 1
+        assert nops_in(func) == 1
+
+    def test_compare_not_used_as_filler(self):
+        func = function_from_text(
+            "f",
+            """
+            NZ=d[0]?1;
+            PC=NZ==0,L1;
+            d[0]=1;
+            L1:
+              PC=RT;
+            """,
+        )
+        inserted = fill_delay_slots(func)
+        # The compare may not move into the branch's slot: nop needed for
+        # the branch, and for the return; the d[0]=1 block falls through
+        # (no slot).
+        assert inserted == 2
+
+    def test_rich_block_fills_all_slots(self):
+        func = function_from_text(
+            "f",
+            """
+            d[0]=1;
+            d[1]=2;
+            NZ=d[0]?1;
+            PC=NZ==0,L1;
+            L1:
+              d[2]=3;
+              PC=RT;
+            """,
+        )
+        inserted = fill_delay_slots(func)
+        assert inserted == 0
+
+    def test_call_consumes_a_filler(self):
+        func = function_from_text(
+            "f",
+            """
+            d[0]=1;
+            CALL _g,0;
+            PC=RT;
+            """,
+        )
+        inserted = fill_delay_slots(func)
+        # d[0]=1 fills the call's slot; the return gets a nop.
+        assert inserted == 1
+
+    def test_nop_placed_before_transfer(self):
+        func = function_from_text("f", "PC=RT;")
+        fill_delay_slots(func)
+        insns = func.blocks[0].insns
+        assert isinstance(insns[0], Nop)
+        assert insns[1].is_transfer()
+
+    def test_bigger_blocks_need_fewer_nops(self):
+        # The §5.2 effect in miniature: merging blocks provides fillers.
+        small_blocks = function_from_text(
+            "f",
+            """
+            PC=L1;
+            L1:
+              PC=L2;
+            L2:
+              PC=RT;
+            """,
+        )
+        merged = function_from_text(
+            "g",
+            """
+            d[0]=1;
+            d[1]=2;
+            d[2]=3;
+            PC=L1;
+            L1:
+              PC=RT;
+            """,
+        )
+        assert fill_delay_slots(small_blocks) > fill_delay_slots(merged) - 1

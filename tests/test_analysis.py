@@ -1,0 +1,102 @@
+"""Static-analysis census tests."""
+
+from repro.analysis import (
+    function_breakdown,
+    instruction_histogram,
+    jump_census,
+    loop_census,
+)
+from repro.frontend import compile_c
+from repro.opt import OptimizationConfig, optimize_program
+from repro.targets import get_target
+
+SOURCE = """
+int helper(int x) { return x * 2; }
+
+int main() {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 10; i++)
+        s += helper(i);
+    return s;
+}
+"""
+
+
+def compiled(replication="none"):
+    program = compile_c(SOURCE)
+    optimize_program(
+        program, get_target("m68020"), OptimizationConfig(replication=replication)
+    )
+    return program
+
+
+class TestHistogram:
+    def test_counts_sum_to_total(self):
+        program = compiled()
+        histogram = instruction_histogram(program)
+        assert sum(histogram.values()) == program.insn_count()
+
+    def test_expected_kinds_present(self):
+        histogram = instruction_histogram(compiled())
+        assert histogram["assign"] > 0
+        assert histogram["call"] >= 1
+        assert histogram["return"] >= 2
+        assert histogram["jump"] >= 1
+
+    def test_jumps_vanish_under_replication(self):
+        histogram = instruction_histogram(compiled("jumps"))
+        assert histogram["jump"] == 0
+
+
+class TestBreakdown:
+    def test_per_function_rows(self):
+        program = compiled()
+        rows = function_breakdown(program, get_target("m68020"))
+        names = {row[0] for row in rows}
+        assert names == {"helper", "main"}
+        for _, blocks, insns, jumps, size in rows:
+            assert blocks >= 1
+            assert insns >= blocks
+            assert size > 0
+
+    def test_sizes_optional(self):
+        rows = function_breakdown(compiled())
+        assert all(row[4] == 0 for row in rows)
+
+
+class TestJumpCensus:
+    def test_simple_config_has_jumps(self):
+        records = jump_census(compiled())
+        assert records
+        assert all(r.category in ("self-loop", "to-indirect", "flagged", "other")
+                   for r in records)
+
+    def test_jumps_config_empty(self):
+        assert jump_census(compiled("jumps")) == []
+
+    def test_self_loop_classified(self):
+        from tests.conftest import function_from_text
+        from repro.cfg import Program
+
+        func = function_from_text(
+            "main",
+            """
+            L1:
+              d[0]=d[0]+1;
+              PC=L1;
+            """,
+        )
+        program = Program()
+        program.add_function(func)
+        (record,) = jump_census(program)
+        assert record.category == "self-loop"
+
+
+class TestLoopCensus:
+    def test_loop_listed_and_jump_flag(self):
+        before = loop_census(compiled("none"))
+        after = loop_census(compiled("jumps"))
+        assert any(name == "main" for name, _, _, _ in before)
+        # After replication no loop contains an unconditional jump.
+        assert all(not has_jump for _, _, _, has_jump in after)

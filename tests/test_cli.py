@@ -1,0 +1,118 @@
+"""CLI tests (in-process, via repro.cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def c_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(
+        """
+        int main() {
+            int i, s;
+            s = 0;
+            for (i = 0; i < 10; i++) s += i;
+            printf("%d\\n", s);
+            return s;
+        }
+        """
+    )
+    return path
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("wc", "sieve", "mincost"):
+            assert name in out
+
+    def test_run_exit_code_and_output(self, c_file, capsys):
+        code = main(["run", str(c_file)])
+        assert code == 45
+        assert capsys.readouterr().out == "45\n"
+
+    def test_run_benchmark_by_name(self, capsys):
+        assert main(["run", "queens"]) == 0
+        assert "92 solutions" in capsys.readouterr().out
+
+    def test_compile_prints_rtl(self, c_file, capsys):
+        assert main(["compile", str(c_file), "--replication", "jumps"]) == 0
+        out = capsys.readouterr().out
+        assert "function main" in out
+        assert "PC=RT;" in out
+        assert "PC=NZ" in out  # conditional branches survived
+
+    def test_measure_fields(self, c_file, capsys):
+        assert main(["measure", str(c_file), "--target", "m68020"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic instructions" in out
+        assert "exit code" in out
+
+    def test_compare_consistent_outputs(self, c_file, capsys):
+        assert main(["compare", str(c_file)]) == 0
+        out = capsys.readouterr().out
+        assert "SIMPLE" in out and "LOOPS" in out and "JUMPS" in out
+
+    def test_cache_sweep(self, c_file, capsys):
+        assert main(["cache", str(c_file), "--sizes", "128", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "128B" in out and "1KB" in out
+
+    def test_stdin_file(self, tmp_path, capsys):
+        prog = tmp_path / "echo.c"
+        prog.write_text(
+            "int main() { int c; c = getchar();"
+            " while (c != -1) { putchar(c); c = getchar(); } return 0; }"
+        )
+        data = tmp_path / "input.txt"
+        data.write_bytes(b"hello")
+        assert main(["run", str(prog), "--stdin", str(data)]) == 0
+        assert capsys.readouterr().out == "hello"
+
+    def test_missing_program_errors(self):
+        with pytest.raises(SystemExit):
+            main(["run", "/nonexistent/file.c"])
+
+    def test_policy_and_maxlen_flags(self, c_file):
+        assert (
+            main(
+                [
+                    "measure",
+                    str(c_file),
+                    "--replication",
+                    "jumps",
+                    "--policy",
+                    "returns",
+                    "--max-rtls",
+                    "8",
+                ]
+            )
+            == 0
+        )
+
+
+class TestDotCommand:
+    def test_dot_output(self, capsys):
+        assert main(["dot", "queens", "--function", "place"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "place"')
+        assert "->" in out
+
+
+class TestStatsCommand:
+    def test_stats_output(self, capsys):
+        assert main(["stats", "wc", "--replication", "jumps"]) == 0
+        out = capsys.readouterr().out
+        assert "Instruction mix" in out
+        assert "Per function" in out
+        assert "Natural loops" in out
+        # JUMPS leaves no unconditional jumps in wc.
+        assert "Surviving unconditional jumps" not in out
+
+    def test_stats_reports_survivors(self, capsys):
+        assert main(["stats", "wc", "--replication", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "Surviving unconditional jumps" in out

