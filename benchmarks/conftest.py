@@ -1,14 +1,21 @@
 """Shared machinery for the experiment harnesses.
 
 Each ``bench_table*.py`` regenerates one table or figure of the paper.
-Measurements are memoized inside :mod:`repro.benchsuite.runner`, so the
-full suite compiles and interprets each (program, target, configuration)
-combination exactly once per pytest session.
+The whole (program × target × configuration) matrix is produced in one
+:func:`repro.benchsuite.run_matrix` call, which fans out over worker
+processes and consults the persistent on-disk result cache, then seeds
+the in-process memo — so the full suite compiles and interprets each
+combination exactly once per pytest session (or not at all when the
+cache is warm).
 
 Environment knobs:
 
 * ``REPRO_BENCH_PROGRAMS`` — comma-separated subset of program names, for
   quick runs (e.g. ``REPRO_BENCH_PROGRAMS=wc,sieve pytest benchmarks/``).
+* ``REPRO_BENCH_PARALLEL`` — worker processes for the matrix (default
+  ``0`` = inline; ``repro bench --parallel N`` is the CLI equivalent).
+* ``REPRO_CACHE_DIR`` — persistent result cache directory (honoured by
+  the runner itself; unset = no on-disk caching).
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from typing import Dict, List
 
 import pytest
 
-from repro.benchsuite import program_names, run_benchmark
+from repro.benchsuite import program_names, run_matrix
 from repro.ease import Measurement
 
 TARGETS = ("sparc", "m68020")
@@ -33,27 +40,28 @@ def selected_programs() -> List[str]:
     return program_names()
 
 
+def _workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_PARALLEL", "0") or 0)
+
+
 @pytest.fixture(scope="session")
 def suite_measurements() -> Dict[tuple, Measurement]:
     """Measurements for every (target, config, program), without traces."""
-    results: Dict[tuple, Measurement] = {}
-    for target in TARGETS:
-        for config in CONFIGS:
-            for name in selected_programs():
-                results[(target, config, name)] = run_benchmark(
-                    name, target=target, replication=config
-                )
-    return results
+    return run_matrix(
+        names=selected_programs(),
+        targets=TARGETS,
+        configs=CONFIGS,
+        workers=_workers(),
+    )
 
 
 @pytest.fixture(scope="session")
 def traced_measurements() -> Dict[tuple, Measurement]:
     """Measurements with block traces (for the cache experiments)."""
-    results: Dict[tuple, Measurement] = {}
-    for target in TARGETS:
-        for config in CONFIGS:
-            for name in selected_programs():
-                results[(target, config, name)] = run_benchmark(
-                    name, target=target, replication=config, trace=True
-                )
-    return results
+    return run_matrix(
+        names=selected_programs(),
+        targets=TARGETS,
+        configs=CONFIGS,
+        trace=True,
+        workers=_workers(),
+    )

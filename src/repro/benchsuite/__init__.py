@@ -1,7 +1,13 @@
 """The 14-program test set (Table 3) and the measurement pipeline."""
 
 from .programs import PROGRAMS, BenchmarkProgram, program_names
-from .runner import clear_cache, compile_benchmark, run_benchmark, run_suite
+from .runner import (
+    clear_cache,
+    compile_benchmark,
+    run_benchmark,
+    run_matrix,
+    run_suite,
+)
 
 __all__ = [
     "PROGRAMS",
@@ -10,5 +16,6 @@ __all__ = [
     "clear_cache",
     "compile_benchmark",
     "run_benchmark",
+    "run_matrix",
     "run_suite",
 ]

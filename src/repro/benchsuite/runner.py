@@ -1,30 +1,59 @@
 """Compile-optimize-measure pipeline shared by every experiment.
 
-Results are memoized per (program, target, configuration, trace) because
-the benchmark harnesses for Tables 4, 5 and 6 all reuse the same runs.
+Since the parallel execution layer landed this module is a thin facade
+over :mod:`repro.exec`: every measurement goes through
+:func:`repro.exec.runner.execute_cell`, results are memoized in-process
+per (program, target, configuration, trace) — the Tables 4, 5 and 6
+harnesses reuse the same runs — and an optional persistent
+:class:`~repro.exec.cache.ResultCache` survives across processes.
+
+``run_matrix`` is the bulk entry point: it fans the whole
+(program × target × configuration) cross-product out over a
+:class:`~repro.exec.runner.ParallelRunner` and seeds the in-process memo,
+so the per-cell accessors below become cache hits afterwards.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cfg.block import Program
 from ..core.replication import Policy
-from ..ease.measure import Measurement, measure_program
+from ..ease.measure import Measurement
+from ..exec import CellResult, CellSpec, ParallelRunner, ResultCache, execute_cell
 from ..frontend.codegen import compile_c
 from ..opt.driver import OptimizationConfig, optimize_program
 from ..targets.machine import Machine, get_target
 from .programs import PROGRAMS, program_names
 
-__all__ = ["run_benchmark", "run_suite", "compile_benchmark", "clear_cache"]
+__all__ = [
+    "run_benchmark",
+    "run_suite",
+    "run_matrix",
+    "compile_benchmark",
+    "clear_cache",
+    "persistent_cache_from_env",
+]
 
 _measure_cache: Dict[tuple, Measurement] = {}
+
+_POLICY_NAMES = {
+    Policy.SHORTEST: "shortest",
+    Policy.FAVOR_RETURNS: "returns",
+    Policy.FAVOR_LOOPS: "loops",
+}
 
 
 def clear_cache() -> None:
     """Drop all memoized measurements (frees their traces)."""
     _measure_cache.clear()
+
+
+def persistent_cache_from_env() -> Optional[ResultCache]:
+    """The on-disk cache named by ``REPRO_CACHE_DIR``, if set."""
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    return ResultCache(cache_dir) if cache_dir else None
 
 
 def compile_benchmark(
@@ -49,6 +78,47 @@ def compile_benchmark(
     return program
 
 
+def _spec_for(
+    name: str,
+    target: str,
+    replication: str,
+    policy: Policy,
+    max_rtls: Optional[int],
+    trace: bool,
+) -> CellSpec:
+    if name not in PROGRAMS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; expected one of {program_names()}"
+        )
+    return CellSpec(
+        program=name,
+        target=target,
+        replication=replication,
+        policy=_POLICY_NAMES.get(policy, "shortest"),
+        max_rtls=max_rtls,
+        trace=trace,
+    )
+
+
+def _memo_key(spec: CellSpec) -> tuple:
+    return (
+        spec.program,
+        spec.target,
+        spec.replication,
+        spec.policy,
+        spec.max_rtls,
+        spec.trace,
+    )
+
+
+def _unwrap(result: CellResult) -> Measurement:
+    if not result.ok:
+        raise RuntimeError(
+            f"benchmark cell {result.spec.label} failed:\n{result.error}"
+        )
+    return result.measurement
+
+
 def run_benchmark(
     name: str,
     target: str = "sparc",
@@ -57,16 +127,26 @@ def run_benchmark(
     max_rtls: Optional[int] = None,
     trace: bool = False,
     use_cache: bool = True,
+    cache: Optional[ResultCache] = None,
 ) -> Measurement:
-    """Measure one benchmark under one configuration (memoized)."""
-    key = (name, target, replication, policy, max_rtls, trace)
+    """Measure one benchmark under one configuration (memoized).
+
+    ``cache`` (or the ``REPRO_CACHE_DIR`` environment variable) adds a
+    persistent on-disk layer underneath the in-process memo.
+    """
+    spec = _spec_for(name, target, replication, policy, max_rtls, trace)
+    key = _memo_key(spec)
     if use_cache and key in _measure_cache:
         return _measure_cache[key]
-    machine = get_target(target)
-    program = compile_benchmark(name, machine, replication, policy, max_rtls)
-    measurement = measure_program(
-        program, machine, stdin=PROGRAMS[name].stdin, trace=trace
-    )
+    disk = cache if cache is not None else persistent_cache_from_env()
+    result: Optional[CellResult] = None
+    if disk is not None:
+        result = disk.get_spec(spec)
+    if result is None:
+        result = execute_cell(spec)
+        if disk is not None and result.ok:
+            disk.put_spec(spec, result)
+    measurement = _unwrap(result)
     if use_cache:
         _measure_cache[key] = measurement
     return measurement
@@ -84,3 +164,61 @@ def run_suite(
         name: run_benchmark(name, target, replication, trace=trace)
         for name in selected
     }
+
+
+def run_matrix(
+    names: Optional[Sequence[str]] = None,
+    targets: Sequence[str] = ("sparc", "m68020"),
+    configs: Sequence[str] = ("none", "loops", "jumps"),
+    trace: bool = False,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    use_memo: bool = True,
+) -> Dict[Tuple[str, str, str], Measurement]:
+    """Measure the full (target × config × program) cross-product.
+
+    Fans out over ``workers`` processes (``None`` = one per core,
+    ``0``/``1`` = inline) through the optional persistent ``cache``,
+    and seeds the in-process memo so later :func:`run_benchmark` calls
+    on the same cells are free.  Returns ``{(target, config, name):
+    Measurement}`` — the shape the Table 4/5/6 harnesses consume.
+    Raises ``RuntimeError`` listing every failed cell, if any.
+    """
+    selected: List[str] = list(names) if names is not None else program_names()
+    order: List[Tuple[str, str, str]] = [
+        (target, config, name)
+        for target in targets
+        for config in configs
+        for name in selected
+    ]
+    specs = [
+        _spec_for(name, target, config, Policy.SHORTEST, None, trace)
+        for (target, config, name) in order
+    ]
+    disk = cache if cache is not None else persistent_cache_from_env()
+
+    measurements: Dict[Tuple[str, str, str], Measurement] = {}
+    pending_specs: List[CellSpec] = []
+    pending_keys: List[Tuple[str, str, str]] = []
+    for matrix_key, spec in zip(order, specs):
+        memo_key = _memo_key(spec)
+        if use_memo and memo_key in _measure_cache:
+            measurements[matrix_key] = _measure_cache[memo_key]
+        else:
+            pending_specs.append(spec)
+            pending_keys.append(matrix_key)
+
+    runner = ParallelRunner(workers=workers, cache=disk)
+    failures: List[str] = []
+    for matrix_key, result in zip(pending_keys, runner.run(pending_specs)):
+        if not result.ok:
+            failures.append(f"{result.spec.label}:\n{result.error}")
+            continue
+        measurements[matrix_key] = result.measurement
+        if use_memo:
+            _measure_cache[_memo_key(result.spec)] = result.measurement
+    if failures:
+        raise RuntimeError(
+            f"{len(failures)} matrix cell(s) failed:\n" + "\n".join(failures)
+        )
+    return measurements

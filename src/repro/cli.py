@@ -11,6 +11,8 @@ Commands
 ``stats``     static-analysis census (instruction mix, loops, jumps)
 ``dot``       Graphviz DOT rendering of the control-flow graphs
 ``list``      list the Table-3 benchmark programs
+``bench``     run the (program × target × config) evaluation matrix in
+              parallel through the persistent result cache
 
 Programs are given either as a path to a ``.c`` file or as one of the
 benchmark names (``wc``, ``sieve``, …).
@@ -273,6 +275,139 @@ def cmd_list(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the evaluation matrix in parallel through the result cache."""
+    import json
+    import os
+    import time
+
+    from .exec import CellSpec, ParallelRunner, ResultCache
+    from .opt.instrument import PassInstrumentation
+    from .report import format_cache_stats, format_pass_table
+
+    names = args.programs if args.programs else program_names()
+    unknown = [name for name in names if name not in PROGRAMS]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown benchmark(s) {', '.join(unknown)}; "
+            f"expected one of {', '.join(program_names())}"
+        )
+    specs = [
+        CellSpec(
+            program=name,
+            target=target,
+            replication=config,
+            policy=args.policy,
+            max_rtls=args.max_rtls,
+            trace=args.trace,
+        )
+        for target in args.targets
+        for config in args.configs
+        for name in names
+    ]
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = ParallelRunner(workers=args.parallel, cache=cache)
+
+    done = [0]
+
+    def progress(result) -> None:
+        done[0] += 1
+        status = "cached" if result.cache_hit else ("FAILED" if not result.ok else "ok")
+        print(
+            f"[{done[0]:>3}/{len(specs)}] {result.spec.label}: {status}",
+            file=sys.stderr,
+        )
+
+    start = time.perf_counter()
+    results = runner.run(specs, on_result=progress if not args.quiet else None)
+    elapsed = time.perf_counter() - start
+
+    rows = []
+    failures = []
+    instrumentation = PassInstrumentation()
+    for result in results:
+        if not result.ok:
+            failures.append(result)
+            continue
+        m = result.measurement
+        rows.append(
+            [
+                result.spec.program,
+                result.spec.target,
+                result.spec.replication,
+                m.static_insns,
+                m.dynamic_insns,
+                m.dynamic_jumps,
+                m.dynamic_nops,
+                f"{result.optimize_seconds:.3f}",
+                f"{result.measure_seconds:.3f}",
+                "yes" if result.cache_hit else "",
+            ]
+        )
+        instrumentation.merge(PassInstrumentation.from_dicts(result.passes))
+    print(
+        format_table(
+            [
+                "program",
+                "target",
+                "config",
+                "static",
+                "dynamic",
+                "jumps",
+                "nops",
+                "opt s",
+                "run s",
+                "cached",
+            ],
+            rows,
+        )
+    )
+    hits = sum(1 for r in results if r.cache_hit)
+    print(
+        f"\n{len(results)} cells in {elapsed:.2f}s "
+        f"({runner.workers} workers, {hits} cache hits, {len(failures)} failed)"
+    )
+    if cache is not None:
+        print(format_cache_stats(cache.stats()))
+    if args.passes and instrumentation.records:
+        print("\nPer-pass instrumentation (aggregated over fresh cells):")
+        print(format_pass_table(instrumentation.aggregate()))
+
+    if args.json is not None:
+        payload = {
+            "machine": {"cpu_count": os.cpu_count()},
+            "workers": runner.workers,
+            "elapsed_seconds": elapsed,
+            "cache": cache.stats() if cache is not None else None,
+            "cells": [
+                {
+                    "program": r.spec.program,
+                    "target": r.spec.target,
+                    "config": r.spec.replication,
+                    "ok": r.ok,
+                    "cache_hit": r.cache_hit,
+                    "static_insns": r.measurement.static_insns if r.ok else None,
+                    "dynamic_insns": r.measurement.dynamic_insns if r.ok else None,
+                    "dynamic_jumps": r.measurement.dynamic_jumps if r.ok else None,
+                    "dynamic_nops": r.measurement.dynamic_nops if r.ok else None,
+                    "code_bytes": r.measurement.code_bytes if r.ok else None,
+                    "compile_seconds": r.compile_seconds,
+                    "optimize_seconds": r.optimize_seconds,
+                    "measure_seconds": r.measure_seconds,
+                    "error": r.error,
+                }
+                for r in results
+            ],
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    for result in failures:
+        print(f"\n--- {result.spec.label} failed ---", file=sys.stderr)
+        print(result.error, file=sys.stderr)
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -327,6 +462,76 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("list", help="list the benchmark programs")
     p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the evaluation matrix in parallel through the result cache",
+    )
+    p.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: one per core; 0/1 = inline)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="persistent result cache directory (default: .repro-cache)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="bypass the persistent cache"
+    )
+    p.add_argument(
+        "--programs",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="subset of benchmark programs (default: all 14)",
+    )
+    p.add_argument(
+        "--targets",
+        nargs="+",
+        choices=["sparc", "m68020"],
+        default=["sparc", "m68020"],
+        help="machine models (default: both)",
+    )
+    p.add_argument(
+        "--configs",
+        nargs="+",
+        choices=["none", "loops", "jumps"],
+        default=["none", "loops", "jumps"],
+        help="replication configurations (default: all three)",
+    )
+    p.add_argument(
+        "--policy",
+        choices=sorted(POLICIES),
+        default="shortest",
+        help="JUMPS step-2 heuristic (default: shortest)",
+    )
+    p.add_argument(
+        "--max-rtls",
+        type=int,
+        default=None,
+        help="bound on the replication sequence length (§6 extension)",
+    )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="record block traces (needed for cache simulation; bigger entries)",
+    )
+    p.add_argument(
+        "--passes",
+        action="store_true",
+        help="print aggregated per-pass instrumentation",
+    )
+    p.add_argument(
+        "--json", type=Path, default=None, help="write results to a JSON file"
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress on stderr"
+    )
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -1,0 +1,167 @@
+"""Content-addressed on-disk cache for measured matrix cells.
+
+Layout (under the cache root, default ``.repro-cache/``)::
+
+    .repro-cache/
+        v1/                   # CACHE_SCHEMA_VERSION namespace
+            3f/               # first two hex digits of the key
+                3fa4...e2.pkl # pickled CellResult
+
+A key is the SHA-256 over a canonical rendering of everything that
+determines a cell's outcome: the *resolved* program source and stdin
+bytes (so a benchmark rename or source edit changes the key), the target
+name, the full optimization configuration, the trace flag, and the cache
+schema version.  Editing any of those makes old entries unreachable —
+there is no invalidation protocol to get wrong.
+
+Robustness properties, each covered by unit tests:
+
+* **corrupted entries** (truncated/garbage pickle) are evicted on read
+  and treated as a miss;
+* **concurrent writers** are safe: entries are written to a unique
+  temporary file and published with an atomic ``os.replace``, so readers
+  only ever see complete entries;
+* hit/miss/eviction/write counters are kept per instance for reporting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional
+
+from .envelope import CACHE_SCHEMA_VERSION, CellResult, CellSpec
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """Persistent (process-shared) cache of :class:`CellResult` envelopes."""
+
+    def __init__(
+        self,
+        root: os.PathLike = DEFAULT_CACHE_DIR,
+        schema_version: int = CACHE_SCHEMA_VERSION,
+    ) -> None:
+        self.root = Path(root)
+        self.schema_version = schema_version
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writes = 0
+
+    # --- keying ---------------------------------------------------------------
+
+    def key(self, spec: CellSpec) -> str:
+        """Content hash of everything that determines the cell's result."""
+        source, stdin = spec.resolve()
+        hasher = hashlib.sha256()
+        for part in (
+            f"schema={self.schema_version}",
+            f"target={spec.target}",
+            f"replication={spec.replication if spec.optimize else '<reference>'}",
+            f"policy={spec.policy}",
+            f"max_rtls={spec.max_rtls}",
+            f"trace={spec.trace}",
+            f"optimize={spec.optimize}",
+            f"source={source}",
+        ):
+            hasher.update(part.encode("utf-8"))
+            hasher.update(b"\x00")
+        hasher.update(stdin)
+        return hasher.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"v{self.schema_version}" / key[:2] / f"{key}.pkl"
+
+    # --- read/write -----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[CellResult]:
+        """The cached envelope for ``key``, or ``None`` (counted as a miss).
+
+        A corrupted entry is deleted (counted as an eviction) and reported
+        as a miss, so the caller recomputes and heals the cache.
+        """
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+            result = pickle.loads(blob)
+            if not isinstance(result, CellResult):
+                raise pickle.UnpicklingError(f"expected CellResult, got {type(result)}")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated write, foreign object, unpicklable garbage: evict.
+            self.evictions += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: CellResult) -> None:
+        """Store ``result`` under ``key`` (atomic, last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+
+    def get_spec(self, spec: CellSpec) -> Optional[CellResult]:
+        return self.get(self.key(spec))
+
+    def put_spec(self, spec: CellSpec, result: CellResult) -> None:
+        self.put(self.key(spec), result)
+
+    # --- maintenance ----------------------------------------------------------
+
+    def _entries(self) -> Iterator[Path]:
+        version_dir = self.root / f"v{self.schema_version}"
+        if not version_dir.is_dir():
+            return
+        yield from sorted(version_dir.glob("*/*.pkl"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def clear(self) -> int:
+        """Delete every entry of this schema version; return the count."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> dict:
+        return {
+            "root": str(self.root),
+            "schema_version": self.schema_version,
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writes": self.writes,
+        }

@@ -1,0 +1,107 @@
+"""Pickle-safe work units for the parallel execution layer.
+
+A :class:`CellSpec` names one cell of the evaluation matrix — one
+(program × target × configuration) point of the paper's Tables 4–6 —
+plus the knobs that change what a run produces (tracing, the JUMPS
+policy, the §6 RTL bound, or skipping optimization entirely for the
+differential-testing reference).  A :class:`CellResult` is the envelope
+a worker process ships back: the measurement, replication statistics,
+per-pass instrumentation and timings on success, or a captured traceback
+on failure.  Both sides are plain data so they cross process boundaries
+and live in the on-disk result cache unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from ..ease.measure import Measurement
+
+__all__ = ["CellSpec", "CellResult", "CACHE_SCHEMA_VERSION"]
+
+#: Bump whenever the envelope layout or the meaning of a measurement
+#: changes; old cache entries become unreachable (different keys).
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of the (program × target × configuration) matrix."""
+
+    #: A Table-3 benchmark name (e.g. ``"wc"``) or mini-C source text.
+    program: str
+    target: str = "sparc"
+    replication: str = "none"
+    policy: str = "shortest"
+    max_rtls: Optional[int] = None
+    #: Record the block trace (needed by the Table-6 cache simulations).
+    trace: bool = False
+    #: ``False`` runs the raw front-end output — the differential-test
+    #: semantic reference.
+    optimize: bool = True
+    #: Standard input override; ``None`` uses the benchmark's workload.
+    stdin: Optional[bytes] = None
+    #: Debug: validate CFG invariants after every optimizer pass.  Does
+    #: not change the result, so it is excluded from the cache key.
+    validate_cfg: bool = False
+
+    def resolve(self) -> Tuple[str, bytes]:
+        """The (source text, stdin bytes) this cell actually runs."""
+        from ..benchsuite.programs import PROGRAMS
+
+        if self.program in PROGRAMS:
+            bench = PROGRAMS[self.program]
+            stdin = bench.stdin if self.stdin is None else self.stdin
+            return bench.source, stdin
+        return self.program, self.stdin if self.stdin is not None else b""
+
+    @property
+    def label(self) -> str:
+        """Short human-readable cell id for progress and error reports."""
+        name = self.program if "\n" not in self.program else "<source>"
+        config = self.replication if self.optimize else "reference"
+        suffix = "+trace" if self.trace else ""
+        return f"{name}/{self.target}/{config}{suffix}"
+
+    def with_trace(self, trace: bool = True) -> "CellSpec":
+        return replace(self, trace=trace)
+
+
+@dataclass
+class CellResult:
+    """What one executed cell produced (or how it failed)."""
+
+    spec: CellSpec
+    measurement: Optional[Measurement] = None
+    #: ``ReplicationStats`` flattened to a plain dict (stable to pickle).
+    replication_stats: Optional[dict] = None
+    #: Per-pass instrumentation records as plain dicts
+    #: (see :class:`repro.opt.instrument.PassRecord`).
+    passes: List[dict] = field(default_factory=list)
+    compile_seconds: float = 0.0
+    optimize_seconds: float = 0.0
+    measure_seconds: float = 0.0
+    #: Captured traceback text when the cell crashed; ``None`` on success.
+    error: Optional[str] = None
+    #: Filled in by the runner: whether this came from the result cache.
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compile_seconds + self.optimize_seconds + self.measure_seconds
+
+    def summary(self) -> str:
+        if not self.ok:
+            first = (self.error or "").strip().splitlines()
+            return f"{self.spec.label}: FAILED ({first[-1] if first else 'unknown'})"
+        m = self.measurement
+        return (
+            f"{self.spec.label}: static={m.static_insns} dynamic={m.dynamic_insns} "
+            f"jumps={m.dynamic_jumps} ({self.total_seconds:.2f}s"
+            f"{', cached' if self.cache_hit else ''})"
+        )

@@ -1,0 +1,165 @@
+"""Parallel, cached execution of the evaluation matrix.
+
+:func:`execute_cell` is the single-cell pipeline — compile, optimize
+(instrumented), interpret, measure — with every exception captured into
+the result envelope instead of propagating.  :class:`ParallelRunner`
+fans a list of :class:`CellSpec` out over a ``ProcessPoolExecutor``,
+short-circuiting cells already present in the on-disk
+:class:`~repro.exec.cache.ResultCache` and writing fresh results back.
+
+A crashing cell reports (``result.error`` carries the traceback); it
+never kills the run.  ``workers <= 1`` executes inline in the calling
+process — the same code path, minus the pool — which is what the test
+suite uses and what keeps single-core machines overhead-free.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .cache import ResultCache
+from .envelope import CellResult, CellSpec
+
+__all__ = ["ParallelRunner", "execute_cell", "default_worker_count"]
+
+
+def default_worker_count() -> int:
+    """Worker count when none is requested: one per available core."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def execute_cell(spec: CellSpec) -> CellResult:
+    """Run one matrix cell; never raises — failures land in the envelope."""
+    result = CellResult(spec=spec)
+    try:
+        from dataclasses import asdict
+
+        from ..ease.measure import measure_program
+        from ..frontend.codegen import compile_c
+        from ..opt.driver import OptimizationConfig, optimize_program
+        from ..opt.instrument import PassInstrumentation
+        from ..targets.machine import get_target
+
+        source, stdin = spec.resolve()
+        target = get_target(spec.target)
+
+        start = perf_counter()
+        program = compile_c(source)
+        result.compile_seconds = perf_counter() - start
+
+        if spec.optimize:
+            from ..api import POLICIES
+
+            config = OptimizationConfig(
+                replication=spec.replication,
+                policy=POLICIES[spec.policy],
+                max_rtls=spec.max_rtls,
+                validate_cfg=spec.validate_cfg,
+            )
+            instrumentation = PassInstrumentation()
+            start = perf_counter()
+            stats = optimize_program(program, target, config, instrumentation)
+            result.optimize_seconds = perf_counter() - start
+            result.replication_stats = {
+                "jumps_replaced": stats.jumps_replaced,
+                "rtls_replicated": stats.rtls_replicated,
+                "rollbacks": stats.rollbacks,
+                "jumps_kept": stats.jumps_kept,
+            }
+            result.passes = [asdict(rec) for rec in instrumentation.records]
+
+        start = perf_counter()
+        result.measurement = measure_program(
+            program, target, stdin=stdin, trace=spec.trace
+        )
+        result.measure_seconds = perf_counter() - start
+    except BaseException:
+        result.error = traceback.format_exc()
+        result.measurement = None
+    return result
+
+
+class ParallelRunner:
+    """Fan the matrix out over worker processes, through the result cache."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.workers = default_worker_count() if workers is None else max(1, workers)
+        self.cache = cache
+
+    def run(
+        self,
+        specs: Sequence[CellSpec],
+        on_result: Optional[Callable[[CellResult], None]] = None,
+    ) -> List[CellResult]:
+        """Execute every spec; results come back in input order.
+
+        ``on_result`` (if given) is called once per finished cell, in
+        completion order — useful for progress reporting.
+        """
+        results: List[Optional[CellResult]] = [None] * len(specs)
+        pending: List[int] = []
+
+        # Pass 1: serve what the cache already has.
+        for index, spec in enumerate(specs):
+            if self.cache is not None:
+                cached = self.cache.get_spec(spec)
+                if cached is not None and cached.ok:
+                    cached.cache_hit = True
+                    results[index] = cached
+                    if on_result is not None:
+                        on_result(cached)
+                    continue
+            pending.append(index)
+
+        # Pass 2: compute the misses (in a pool, or inline for workers<=1).
+        def finish(index: int, result: CellResult) -> None:
+            if self.cache is not None and result.ok:
+                self.cache.put_spec(specs[index], result)
+            results[index] = result
+            if on_result is not None:
+                on_result(result)
+
+        if self.workers <= 1 or len(pending) <= 1:
+            for index in pending:
+                finish(index, execute_cell(specs[index]))
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = {
+                    pool.submit(execute_cell, specs[index]): index
+                    for index in pending
+                }
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = futures[future]
+                        try:
+                            result = future.result()
+                        except BaseException:
+                            # A worker died mid-cell (OOM kill, interpreter
+                            # crash): report the cell, keep the run alive.
+                            result = CellResult(
+                                spec=specs[index], error=traceback.format_exc()
+                            )
+                        finish(index, result)
+
+        return [result for result in results if result is not None]
+
+    def run_indexed(
+        self,
+        specs: Sequence[CellSpec],
+        on_result: Optional[Callable[[CellResult], None]] = None,
+    ) -> Dict[CellSpec, CellResult]:
+        """Like :meth:`run`, keyed by spec for random-access consumers."""
+        return {res.spec: res for res in self.run(specs, on_result)}

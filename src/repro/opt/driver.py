@@ -38,14 +38,16 @@ to pick up jumps kept for reducibility, as described in §5.1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from time import perf_counter
+from typing import Callable, Optional
 
 from ..cfg.block import Function, Program
-from ..cfg.graph import compute_flow
+from ..cfg.graph import check_function, compute_flow
 from ..core.replication import CodeReplicator, Policy, ReplicationMode, ReplicationStats
 from ..targets.delay_slots import fill_delay_slots
 from ..targets.machine import Machine, get_target
 from .branch_chaining import branch_chaining
+from .instrument import PassInstrumentation, jump_count, rtl_count
 from .code_motion import loop_invariant_code_motion
 from .const_fold import fold_branches, fold_constants
 from .copy_prop import propagate_copies
@@ -77,6 +79,8 @@ class OptimizationConfig:
     #: Fill RISC delay slots at the end (disabled by the profile-guided
     #: extension, which replicates after an instrumented training run).
     fill_delay_slots: bool = True
+    #: Debug: run the CFG invariant validator after every pass.
+    validate_cfg: bool = False
 
     def __post_init__(self) -> None:
         if self.replication not in ("none", "loops", "jumps"):
@@ -101,10 +105,46 @@ def _make_replicator(config: OptimizationConfig, allow_irreducible: bool = False
 
 
 def optimize_function(
-    func: Function, target: Machine, config: OptimizationConfig
+    func: Function,
+    target: Machine,
+    config: OptimizationConfig,
+    instrumentation: Optional[PassInstrumentation] = None,
 ) -> ReplicationStats:
-    """Run the Figure-3 pipeline over ``func`` in place."""
+    """Run the Figure-3 pipeline over ``func`` in place.
+
+    With ``instrumentation`` given, every pass invocation is timed and
+    bracketed by an RTL / jump census (see :mod:`repro.opt.instrument`).
+    With ``config.validate_cfg`` set, the CFG invariant validator runs
+    after every pass and raises ``AssertionError`` on the first pass that
+    leaves the graph inconsistent.
+    """
     stats = ReplicationStats()
+    observe = instrumentation is not None or config.validate_cfg
+
+    def step(name: str, pass_fn: Callable[[], object]) -> bool:
+        if not observe:
+            return bool(pass_fn())
+        rtls_before = rtl_count(func)
+        jumps_before = jump_count(func)
+        start = perf_counter()
+        outcome = pass_fn()
+        elapsed = perf_counter() - start
+        if instrumentation is not None:
+            instrumentation.record(
+                name,
+                elapsed,
+                rtl_count(func) - rtls_before,
+                jumps_before - jump_count(func),
+                bool(outcome),
+            )
+        if config.validate_cfg:
+            try:
+                check_function(func)
+            except AssertionError as exc:
+                raise AssertionError(
+                    f"CFG invariants violated after pass {name!r}: {exc}"
+                ) from exc
+        return bool(outcome)
 
     def replicate(allow_irreducible: bool = False) -> bool:
         replicator = _make_replicator(config, allow_irreducible)
@@ -115,52 +155,52 @@ def optimize_function(
         return run_stats.jumps_replaced > 0
 
     # --- prologue ------------------------------------------------------------
-    branch_chaining(func)
-    eliminate_dead_code(func)
-    reorder_blocks(func)
-    eliminate_dead_code(func)
-    replicate()
-    eliminate_dead_code(func)
+    step("branch_chaining", lambda: branch_chaining(func))
+    step("dead_code", lambda: eliminate_dead_code(func))
+    step("reorder_blocks", lambda: reorder_blocks(func))
+    step("dead_code", lambda: eliminate_dead_code(func))
+    step("replication", replicate)
+    step("dead_code", lambda: eliminate_dead_code(func))
 
     # --- instruction selection & register assignment --------------------------
-    fold_constants(func)
-    legalize(func, target)
-    if combine(func, target):
-        legalize(func, target)
-    promote_locals(func)
-    legalize(func, target)
-    combine(func, target)
+    step("const_fold", lambda: fold_constants(func))
+    step("legalize", lambda: legalize(func, target))
+    if step("combine", lambda: combine(func, target)):
+        step("legalize", lambda: legalize(func, target))
+    step("promote_locals", lambda: promote_locals(func))
+    step("legalize", lambda: legalize(func, target))
+    step("combine", lambda: combine(func, target))
 
     # --- the do-while optimization loop ---------------------------------------
     for _ in range(config.max_iterations):
         changed = False
-        changed |= local_cse(func, target)
-        changed |= propagate_copies(func)
-        changed |= fold_constants(func)
-        changed |= legalize(func, target)
-        changed |= eliminate_dead_variables(func)
-        changed |= loop_invariant_code_motion(func)
-        changed |= strength_reduce(func)
-        changed |= legalize(func, target)
-        changed |= combine(func, target)
-        changed |= branch_chaining(func)
-        changed |= fold_branches(func)
-        changed |= replicate()
-        changed |= eliminate_dead_code(func)
+        changed |= step("local_cse", lambda: local_cse(func, target))
+        changed |= step("copy_prop", lambda: propagate_copies(func))
+        changed |= step("const_fold", lambda: fold_constants(func))
+        changed |= step("legalize", lambda: legalize(func, target))
+        changed |= step("dead_vars", lambda: eliminate_dead_variables(func))
+        changed |= step("code_motion", lambda: loop_invariant_code_motion(func))
+        changed |= step("strength_reduction", lambda: strength_reduce(func))
+        changed |= step("legalize", lambda: legalize(func, target))
+        changed |= step("combine", lambda: combine(func, target))
+        changed |= step("branch_chaining", lambda: branch_chaining(func))
+        changed |= step("fold_branches", lambda: fold_branches(func))
+        changed |= step("replication", replicate)
+        changed |= step("dead_code", lambda: eliminate_dead_code(func))
         if not changed:
             break
 
     # --- epilogue --------------------------------------------------------------
     if config.final_replication and config.replication == "jumps":
-        if replicate(allow_irreducible=True):
-            eliminate_dead_code(func)
-            eliminate_dead_variables(func)
+        if step("replication_final", lambda: replicate(allow_irreducible=True)):
+            step("dead_code", lambda: eliminate_dead_code(func))
+            step("dead_vars", lambda: eliminate_dead_variables(func))
 
-    color_registers(func, target)
-    legalize(func, target)
-    eliminate_dead_code(func)
+    step("regalloc", lambda: color_registers(func, target))
+    step("legalize", lambda: legalize(func, target))
+    step("dead_code", lambda: eliminate_dead_code(func))
     if target.has_delay_slots and config.fill_delay_slots:
-        fill_delay_slots(func)
+        step("delay_slots", lambda: fill_delay_slots(func))
     compute_flow(func)
     return stats
 
@@ -169,6 +209,7 @@ def optimize_program(
     program: Program,
     target,
     config: Optional[OptimizationConfig] = None,
+    instrumentation: Optional[PassInstrumentation] = None,
 ) -> ReplicationStats:
     """Optimize every function of ``program``; return merged replication stats."""
     if isinstance(target, str):
@@ -177,5 +218,5 @@ def optimize_program(
         config = OptimizationConfig()
     total = ReplicationStats()
     for func in program.functions.values():
-        total.merge(optimize_function(func, target, config))
+        total.merge(optimize_function(func, target, config, instrumentation))
     return total

@@ -6,9 +6,16 @@ module keeps the formatting in one place.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence
 
-__all__ = ["format_table", "pct", "mean", "stddev"]
+__all__ = [
+    "format_table",
+    "pct",
+    "mean",
+    "stddev",
+    "format_pass_table",
+    "format_cache_stats",
+]
 
 
 def pct(new: float, base: float) -> str:
@@ -53,3 +60,38 @@ def format_table(
             "  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i]) for i, cell in enumerate(row))
         )
     return "\n".join(lines)
+
+
+def format_pass_table(aggregate: Mapping[str, Dict[str, float]]) -> str:
+    """Render aggregated per-pass instrumentation, slowest pass first.
+
+    ``aggregate`` is the shape produced by
+    :meth:`repro.opt.instrument.PassInstrumentation.aggregate`: pass name
+    to calls / changed / seconds / rtl_delta / jumps_removed totals.
+    """
+    rows = [
+        [
+            name,
+            int(agg["calls"]),
+            int(agg["changed"]),
+            f"{agg['seconds'] * 1000:.1f}",
+            f"{int(agg['rtl_delta']):+d}",
+            f"{int(agg['jumps_removed']):+d}",
+        ]
+        for name, agg in sorted(
+            aggregate.items(), key=lambda item: -item[1]["seconds"]
+        )
+    ]
+    return format_table(
+        ["pass", "calls", "changed", "ms", "ΔRTLs", "jumps removed"], rows
+    )
+
+
+def format_cache_stats(stats: Mapping[str, object]) -> str:
+    """One-line summary of :meth:`repro.exec.cache.ResultCache.stats`."""
+    return (
+        f"cache {stats['root']} (schema v{stats['schema_version']}): "
+        f"{stats['entries']} entries, {stats['hits']} hits, "
+        f"{stats['misses']} misses, {stats['writes']} writes, "
+        f"{stats['evictions']} evictions"
+    )

@@ -25,16 +25,21 @@ def run_c(
     target: Optional[str] = None,
     replication: str = "none",
     max_steps: int = 20_000_000,
+    validate_cfg: bool = True,
 ) -> Tuple[bytes, int]:
     """Compile mini-C (optionally optimizing) and run it.
 
     With ``target=None`` the raw front-end output is interpreted —
-    the semantic reference used throughout the test suite.
+    the semantic reference used throughout the test suite.  Optimized
+    runs validate CFG invariants after every pass by default, so any
+    test going through this helper doubles as an invariant check.
     """
     program = compile_c(source)
     if target is not None:
         optimize_program(
-            program, get_target(target), OptimizationConfig(replication=replication)
+            program,
+            get_target(target),
+            OptimizationConfig(replication=replication, validate_cfg=validate_cfg),
         )
     result = Interpreter(program, max_steps=max_steps).run(stdin=stdin)
     return result.output, result.exit_code

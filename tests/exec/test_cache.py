@@ -1,0 +1,183 @@
+"""Unit tests for the content-addressed on-disk result cache."""
+
+import multiprocessing
+import pickle
+import subprocess
+import sys
+from dataclasses import replace
+
+import pytest
+
+from repro.ease.measure import Measurement
+from repro.exec import CellResult, CellSpec, ResultCache, execute_cell
+
+SPEC = CellSpec(program="int main() { return 7; }", target="sparc")
+
+
+def small_result(spec=SPEC) -> CellResult:
+    measurement = Measurement()
+    measurement.static_insns = 3
+    measurement.exit_code = 7
+    return CellResult(spec=spec, measurement=measurement)
+
+
+# --- keying --------------------------------------------------------------------
+
+
+def test_key_is_stable_within_process(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.key(SPEC) == cache.key(SPEC)
+    assert cache.key(SPEC) == cache.key(replace(SPEC))
+
+
+def test_key_is_stable_across_processes(tmp_path):
+    """SHA-256 of canonical content — no per-process hash randomization."""
+    script = (
+        "from repro.exec import CellSpec, ResultCache;"
+        "print(ResultCache('x').key("
+        "CellSpec(program='int main() { return 7; }', target='sparc')))"
+    )
+    keys = {
+        subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        for _ in range(2)
+    }
+    assert len(keys) == 1
+    assert keys.pop() == ResultCache(tmp_path).key(SPEC)
+
+
+def test_key_ignores_cache_root(tmp_path):
+    assert ResultCache(tmp_path / "a").key(SPEC) == ResultCache(tmp_path / "b").key(
+        SPEC
+    )
+
+
+@pytest.mark.parametrize(
+    "variant",
+    [
+        {"program": "int main() { return 8; }"},
+        {"target": "m68020"},
+        {"replication": "jumps"},
+        {"policy": "returns"},
+        {"max_rtls": 12},
+        {"trace": True},
+        {"optimize": False},
+        {"stdin": b"abc"},
+    ],
+)
+def test_key_changes_when_config_changes(tmp_path, variant):
+    cache = ResultCache(tmp_path)
+    assert cache.key(replace(SPEC, **variant)) != cache.key(SPEC)
+
+
+def test_key_resolves_benchmark_source():
+    """Named benchmarks hash by content, not by name alone."""
+    from repro.benchsuite import PROGRAMS
+
+    by_name = ResultCache("x").key(CellSpec(program="wc"))
+    by_source = ResultCache("x").key(
+        CellSpec(program=PROGRAMS["wc"].source, stdin=PROGRAMS["wc"].stdin)
+    )
+    assert by_name == by_source
+
+
+def test_validate_cfg_does_not_change_key(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.key(replace(SPEC, validate_cfg=True)) == cache.key(SPEC)
+
+
+def test_schema_version_changes_key_and_namespace(tmp_path):
+    v1 = ResultCache(tmp_path, schema_version=1)
+    v2 = ResultCache(tmp_path, schema_version=2)
+    assert v1.key(SPEC) != v2.key(SPEC)
+    v1.put_spec(SPEC, small_result())
+    assert v2.get_spec(SPEC) is None  # schema bump invalidates everything
+    assert len(v1) == 1 and len(v2) == 0
+
+
+# --- round trips ----------------------------------------------------------------
+
+
+def test_round_trip(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get_spec(SPEC) is None
+    cache.put_spec(SPEC, small_result())
+    loaded = cache.get_spec(SPEC)
+    assert loaded is not None
+    assert loaded.measurement.exit_code == 7
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+    assert cache.stats()["writes"] == 1
+
+
+def test_executed_cell_round_trips_with_instrumentation(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = CellSpec(program="wc", replication="jumps")
+    result = execute_cell(spec)
+    assert result.ok
+    cache.put_spec(spec, result)
+    loaded = ResultCache(tmp_path).get_spec(spec)  # fresh instance, same disk
+    assert loaded.measurement.dynamic_insns == result.measurement.dynamic_insns
+    assert loaded.replication_stats == result.replication_stats
+    assert loaded.passes == result.passes and loaded.passes
+
+
+def test_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put_spec(SPEC, small_result())
+    assert cache.clear() == 1
+    assert len(cache) == 0
+    assert cache.get_spec(SPEC) is None
+
+
+# --- corruption recovery ----------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "garbage",
+    [b"", b"not a pickle", pickle.dumps({"wrong": "type"})],
+    ids=["truncated", "garbage", "foreign-object"],
+)
+def test_corrupted_entry_is_evicted_and_recomputed(tmp_path, garbage):
+    cache = ResultCache(tmp_path)
+    cache.put_spec(SPEC, small_result())
+    path = cache._path(cache.key(SPEC))
+    path.write_bytes(garbage)
+    assert cache.get_spec(SPEC) is None  # corrupted = miss
+    assert cache.evictions == 1
+    assert not path.exists()  # evicted from disk
+    cache.put_spec(SPEC, small_result())  # caller heals the cache
+    assert cache.get_spec(SPEC) is not None
+
+
+# --- concurrent writers -----------------------------------------------------------
+
+
+def _hammer(args):
+    root, index = args
+    cache = ResultCache(root)
+    spec = CellSpec(program=f"int main() {{ return {index % 3}; }}")
+    for _ in range(20):
+        cache.put_spec(spec, small_result(spec))
+        loaded = cache.get_spec(spec)
+        # Entries are published atomically: a reader either misses (its
+        # writer not yet done) or sees a complete, consistent envelope.
+        assert loaded is None or loaded.spec == spec
+    return cache.evictions
+
+
+def test_concurrent_writers_never_corrupt(tmp_path):
+    with multiprocessing.Pool(4) as pool:
+        evictions = pool.map(_hammer, [(str(tmp_path), i) for i in range(8)])
+    assert sum(evictions) == 0  # nobody ever observed a torn entry
+    cache = ResultCache(tmp_path)
+    assert len(cache) == 3
+    for index in range(3):
+        spec = CellSpec(program=f"int main() {{ return {index}; }}")
+        assert cache.get_spec(spec) is not None
+    # No temporary files leaked by the atomic-rename protocol.
+    assert not list(tmp_path.rglob("*.tmp"))

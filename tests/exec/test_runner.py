@@ -1,0 +1,139 @@
+"""Unit tests for the parallel matrix runner and its failure capture."""
+
+import pytest
+
+from repro.benchsuite import clear_cache, run_benchmark, run_matrix
+from repro.exec import CellResult, CellSpec, ParallelRunner, ResultCache, execute_cell
+
+GOOD = CellSpec(program="int main() { return 41; }")
+CRASHING = CellSpec(program="int main( {")  # syntax error
+GOOD2 = CellSpec(program="int main() { return 43; }")
+
+
+# --- execute_cell -----------------------------------------------------------------
+
+
+def test_execute_cell_success_envelope():
+    result = execute_cell(CellSpec(program="wc", replication="jumps"))
+    assert result.ok
+    assert result.measurement.dynamic_jumps == 0
+    assert result.replication_stats["jumps_replaced"] > 0
+    assert result.passes, "per-pass instrumentation should be recorded"
+    assert result.optimize_seconds > 0 and result.measure_seconds > 0
+    assert "wc/sparc/jumps" in result.summary()
+
+
+def test_execute_cell_reference_run():
+    result = execute_cell(CellSpec(program="int main() { return 5; }", optimize=False))
+    assert result.ok
+    assert result.measurement.exit_code == 5
+    assert result.replication_stats is None and not result.passes
+
+
+def test_execute_cell_captures_failure():
+    result = execute_cell(CRASHING)
+    assert not result.ok
+    assert "CompileError" in result.error
+    assert result.measurement is None
+    assert "FAILED" in result.summary()
+
+
+# --- ParallelRunner ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_runner_preserves_order_and_isolates_failures(workers):
+    specs = [GOOD, CRASHING, GOOD2]
+    results = ParallelRunner(workers=workers).run(specs)
+    assert [r.spec for r in results] == specs
+    assert results[0].ok and results[0].measurement.exit_code == 41
+    assert not results[1].ok and "CompileError" in results[1].error
+    assert results[2].ok and results[2].measurement.exit_code == 43
+
+
+def test_runner_uses_and_fills_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    specs = [GOOD, CRASHING]
+    cold = ParallelRunner(workers=1, cache=cache).run(specs)
+    assert not any(r.cache_hit for r in cold)
+    assert len(cache) == 1  # failures are never cached
+
+    warm_cache = ResultCache(tmp_path)
+    warm = ParallelRunner(workers=1, cache=warm_cache).run(specs)
+    assert warm[0].cache_hit and warm[0].measurement.exit_code == 41
+    assert not warm[1].cache_hit and not warm[1].ok  # recomputed, fails again
+    assert warm_cache.hits == 1
+
+
+def test_runner_on_result_callback():
+    seen = []
+    ParallelRunner(workers=1).run([GOOD, GOOD2], on_result=seen.append)
+    assert len(seen) == 2 and all(isinstance(r, CellResult) for r in seen)
+
+
+def test_runner_parallel_matches_serial():
+    specs = [
+        CellSpec(program="wc", target=target, replication=config)
+        for target in ("sparc", "m68020")
+        for config in ("none", "jumps")
+    ]
+    serial = ParallelRunner(workers=1).run(specs)
+    parallel = ParallelRunner(workers=2).run(specs)
+    for s, p in zip(serial, parallel):
+        assert s.spec == p.spec
+        assert s.measurement.static_insns == p.measurement.static_insns
+        assert s.measurement.dynamic_insns == p.measurement.dynamic_insns
+        assert s.measurement.output == p.measurement.output
+
+
+# --- the benchsuite facade --------------------------------------------------------
+
+
+def test_run_matrix_shape_and_memo(tmp_path):
+    clear_cache()
+    try:
+        matrix = run_matrix(
+            names=["wc"], targets=["sparc"], configs=["none", "jumps"], workers=1
+        )
+        assert set(matrix) == {("sparc", "none", "wc"), ("sparc", "jumps", "wc")}
+        # The matrix seeded the in-process memo: run_benchmark is now free
+        # and returns the very same Measurement objects.
+        assert run_benchmark("wc", "sparc", "jumps") is matrix[("sparc", "jumps", "wc")]
+    finally:
+        clear_cache()
+
+
+def test_run_matrix_reports_failures(monkeypatch):
+    import repro.benchsuite.runner as runner_module
+
+    def explode(spec):
+        return CellResult(spec=spec, error="boom")
+
+    monkeypatch.setattr(runner_module, "execute_cell", explode)
+    monkeypatch.setattr(
+        "repro.exec.runner.execute_cell", explode
+    )
+    clear_cache()
+    try:
+        with pytest.raises(RuntimeError, match="matrix cell"):
+            run_matrix(names=["wc"], targets=["sparc"], configs=["none"], workers=1)
+    finally:
+        clear_cache()
+
+
+def test_run_benchmark_uses_persistent_cache(tmp_path):
+    clear_cache()
+    try:
+        cache = ResultCache(tmp_path)
+        first = run_benchmark("wc", "sparc", "jumps", cache=cache)
+        clear_cache()  # drop the in-process memo, keep the disk
+        again = run_benchmark("wc", "sparc", "jumps", cache=cache)
+        assert cache.hits == 1
+        assert again.dynamic_insns == first.dynamic_insns
+    finally:
+        clear_cache()
+
+
+def test_run_benchmark_unknown_name():
+    with pytest.raises(KeyError, match="unknown benchmark"):
+        run_benchmark("nonesuch")

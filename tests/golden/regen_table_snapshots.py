@@ -1,0 +1,32 @@
+"""Regenerate ``table45_counts.json`` from the current pipeline.
+
+Run after an *intended* change to the reproduced Table 4/5 numbers::
+
+    PYTHONPATH=src python tests/golden/regen_table_snapshots.py
+
+and commit the resulting JSON diff together with the pass change.
+"""
+
+import json
+from pathlib import Path
+
+from repro.benchsuite import run_matrix
+
+GOLDEN_PATH = Path(__file__).with_name("table45_counts.json")
+PINNED = ("static_insns", "static_jumps", "dynamic_insns", "dynamic_jumps")
+
+
+def main() -> None:
+    matrix = run_matrix()
+    golden = {
+        f"{target}/{config}/{name}": {
+            field: getattr(measurement, field) for field in PINNED
+        }
+        for (target, config, name), measurement in sorted(matrix.items())
+    }
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(golden)} cells)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Golden-snapshot regression tests for the paper's Tables 4 and 5.
+
+The reproduced static and dynamic counts for every (target ×
+configuration × program) cell are pinned in ``table45_counts.json``.
+Any pass change that silently shifts the paper's numbers — more
+instructions, fewer jumps removed, replication doing more or less than
+before — fails here loudly, with a per-cell diff.
+
+If a shift is *intended* (a pass genuinely improved), regenerate with::
+
+    PYTHONPATH=src python tests/golden/regen_table_snapshots.py
+
+and commit the JSON alongside the pass change, so the diff is reviewed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.benchsuite import program_names, run_matrix
+
+GOLDEN_PATH = Path(__file__).with_name("table45_counts.json")
+PINNED = ("static_insns", "static_jumps", "dynamic_insns", "dynamic_jumps")
+
+TARGETS = ("sparc", "m68020")
+CONFIGS = ("none", "loops", "jumps")
+
+
+@pytest.fixture(scope="session")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="session")
+def measured_matrix():
+    return run_matrix(targets=TARGETS, configs=CONFIGS)
+
+
+def test_golden_file_covers_the_full_matrix(golden):
+    expected = {
+        f"{target}/{config}/{name}"
+        for target in TARGETS
+        for config in CONFIGS
+        for name in program_names()
+    }
+    assert set(golden) == expected
+
+
+@pytest.mark.parametrize("target", TARGETS)
+@pytest.mark.parametrize("config", CONFIGS)
+def test_counts_match_golden(golden, measured_matrix, target, config):
+    mismatches = []
+    for name in program_names():
+        m = measured_matrix[(target, config, name)]
+        pinned = golden[f"{target}/{config}/{name}"]
+        for field in PINNED:
+            got = getattr(m, field)
+            if got != pinned[field]:
+                mismatches.append(
+                    f"{target}/{config}/{name}.{field}: "
+                    f"pinned {pinned[field]}, measured {got}"
+                )
+    assert not mismatches, (
+        "Table 4/5 counts shifted from the pinned snapshot:\n  "
+        + "\n  ".join(mismatches)
+        + "\nIf intended, regenerate tests/golden/table45_counts.json "
+        "(see module docstring)."
+    )

@@ -3,15 +3,27 @@
 The observable behaviour (stdout + exit code) of every benchmark must be
 identical across: unoptimized front-end output, and both targets under
 all three paper configurations (SIMPLE / LOOPS / JUMPS).
+
+The whole matrix — optimized cells plus the unoptimized references — is
+produced once per session by the parallel execution layer
+(:class:`repro.exec.ParallelRunner`); each test then only asserts over
+the envelopes.  Every optimized cell runs with ``validate_cfg`` on, so
+the CFG invariant validator executes after every optimizer pass across
+the entire differential matrix.
+
+Environment knobs:
+
+* ``REPRO_TEST_PARALLEL`` — worker processes for the matrix (default
+  ``0`` = inline in this process);
+* ``REPRO_CACHE_DIR`` — reuse/populate a persistent result cache.
 """
+
+import os
 
 import pytest
 
-from repro.benchsuite import PROGRAMS
-from repro.ease import Interpreter, measure_program
-from repro.frontend import compile_c
-from repro.opt import OptimizationConfig, optimize_program
-from repro.targets import get_target
+from repro.benchsuite.runner import persistent_cache_from_env
+from repro.exec import CellSpec, ParallelRunner
 
 # Small programs run in every configuration; the heavyweights get a
 # reduced matrix so the suite stays fast.
@@ -27,55 +39,93 @@ FAST_PROGRAMS = [
     "grep",
 ]
 HEAVY_PROGRAMS = ["compact", "bubblesort", "matmult", "sieve", "mincost"]
-
-_reference_cache = {}
-
-
-def reference(name):
-    if name not in _reference_cache:
-        bench = PROGRAMS[name]
-        result = Interpreter(compile_c(bench.source)).run(stdin=bench.stdin)
-        _reference_cache[name] = (result.output, result.exit_code)
-    return _reference_cache[name]
+HEAVY_M68020 = ["compact", "sieve"]
 
 
-def check(name, target_name, replication):
-    bench = PROGRAMS[name]
-    program = compile_c(bench.source)
-    target = get_target(target_name)
-    optimize_program(program, target, OptimizationConfig(replication=replication))
-    m = measure_program(program, target, stdin=bench.stdin)
-    ref_out, ref_code = reference(name)
-    assert m.output == ref_out, f"{name}/{target_name}/{replication} output differs"
-    assert m.exit_code == ref_code
+def _matrix_specs():
+    specs = []
+    for name in FAST_PROGRAMS:
+        for target in ("m68020", "sparc"):
+            for replication in ("none", "loops", "jumps"):
+                specs.append(
+                    CellSpec(
+                        program=name,
+                        target=target,
+                        replication=replication,
+                        validate_cfg=True,
+                    )
+                )
+    for name in HEAVY_PROGRAMS:
+        specs.append(
+            CellSpec(
+                program=name, target="sparc", replication="jumps", validate_cfg=True
+            )
+        )
+    for name in HEAVY_M68020:
+        specs.append(
+            CellSpec(
+                program=name, target="m68020", replication="jumps", validate_cfg=True
+            )
+        )
+    # Unoptimized front-end runs: the semantic references.
+    for name in FAST_PROGRAMS + HEAVY_PROGRAMS:
+        specs.append(CellSpec(program=name, optimize=False))
+    return specs
+
+
+@pytest.fixture(scope="session")
+def matrix():
+    workers = int(os.environ.get("REPRO_TEST_PARALLEL", "0") or 0)
+    runner = ParallelRunner(workers=workers, cache=persistent_cache_from_env())
+    results = {}
+    for result in runner.run(_matrix_specs()):
+        key = (
+            result.spec.program,
+            result.spec.target if result.spec.optimize else None,
+            result.spec.replication if result.spec.optimize else None,
+        )
+        results[key] = result
+    return results
+
+
+def check(matrix, name, target_name, replication):
+    result = matrix[(name, target_name, replication)]
+    assert result.ok, f"{name}/{target_name}/{replication} crashed:\n{result.error}"
+    reference = matrix[(name, None, None)]
+    assert reference.ok, f"{name} reference crashed:\n{reference.error}"
+    m = result.measurement
+    assert m.output == reference.measurement.output, (
+        f"{name}/{target_name}/{replication} output differs"
+    )
+    assert m.exit_code == reference.measurement.exit_code
     return m
 
 
 @pytest.mark.parametrize("replication", ["none", "loops", "jumps"])
 @pytest.mark.parametrize("target_name", ["m68020", "sparc"])
 @pytest.mark.parametrize("name", FAST_PROGRAMS)
-def test_fast_programs_full_matrix(name, target_name, replication):
-    check(name, target_name, replication)
+def test_fast_programs_full_matrix(matrix, name, target_name, replication):
+    check(matrix, name, target_name, replication)
 
 
 @pytest.mark.parametrize("name", HEAVY_PROGRAMS)
-def test_heavy_programs_jumps_config(name):
-    check(name, "sparc", "jumps")
+def test_heavy_programs_jumps_config(matrix, name):
+    check(matrix, name, "sparc", "jumps")
 
 
-@pytest.mark.parametrize("name", ["compact", "sieve"])
-def test_heavy_programs_m68020(name):
-    check(name, "m68020", "jumps")
+@pytest.mark.parametrize("name", HEAVY_M68020)
+def test_heavy_programs_m68020(matrix, name):
+    check(matrix, name, "m68020", "jumps")
 
 
 @pytest.mark.parametrize("name", FAST_PROGRAMS)
-def test_jumps_eliminates_dynamic_jumps(name):
-    m = check(name, "sparc", "jumps")
+def test_jumps_eliminates_dynamic_jumps(matrix, name):
+    m = check(matrix, name, "sparc", "jumps")
     assert m.dynamic_jumps == 0
 
 
 @pytest.mark.parametrize("name", FAST_PROGRAMS)
-def test_replication_never_slows_execution(name):
-    simple = check(name, "sparc", "none")
-    jumps = check(name, "sparc", "jumps")
+def test_replication_never_slows_execution(matrix, name):
+    simple = check(matrix, name, "sparc", "none")
+    jumps = check(matrix, name, "sparc", "jumps")
     assert jumps.dynamic_insns <= simple.dynamic_insns

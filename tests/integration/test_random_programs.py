@@ -1,9 +1,11 @@
 """Property-based differential testing with randomly generated mini-C.
 
-Hypothesis builds small, terminating C programs (bounded for-loops,
-guarded divisions); the observable behaviour of the optimized code — for
-both targets and all three paper configurations — must match the
-unoptimized front-end output exactly.
+Hypothesis builds small, terminating C programs (bounded ``for``,
+``while`` and ``do``/``while`` loops, guarded divisions, and bounded
+*forward* ``goto``/label statements — the construct the paper is about);
+the observable behaviour of the optimized code — for both targets and
+all three paper configurations — must match the unoptimized front-end
+output exactly.
 """
 
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -45,10 +47,23 @@ def conditions(draw, depth=0):
 
 
 @st.composite
-def statements(draw, depth, loop_depth, loop_counter):
+def statements(draw, depth, loop_depth, loop_counter, label_counter=None):
+    if label_counter is None:
+        label_counter = [0]
     kind = draw(
         st.sampled_from(
-            ["assign", "assign", "compound", "if", "ifelse", "for", "switch"]
+            [
+                "assign",
+                "assign",
+                "compound",
+                "if",
+                "ifelse",
+                "for",
+                "while",
+                "dowhile",
+                "goto",
+                "switch",
+            ]
             + (["break", "continue"] if loop_depth > 0 else [])
         )
     )
@@ -65,31 +80,65 @@ def statements(draw, depth, loop_depth, loop_counter):
     if kind == "continue":
         return f"{indent}continue;"
     if kind == "if":
-        body = draw(statements(depth + 1, loop_depth, loop_counter))
+        body = draw(statements(depth + 1, loop_depth, loop_counter, label_counter))
         return f"{indent}if {draw(conditions())} {{\n{body}\n{indent}}}"
     if kind == "ifelse":
-        then = draw(statements(depth + 1, loop_depth, loop_counter))
-        other = draw(statements(depth + 1, loop_depth, loop_counter))
+        then = draw(statements(depth + 1, loop_depth, loop_counter, label_counter))
+        other = draw(statements(depth + 1, loop_depth, loop_counter, label_counter))
         return (
             f"{indent}if {draw(conditions())} {{\n{then}\n{indent}}} "
             f"else {{\n{other}\n{indent}}}"
+        )
+    if kind == "goto":
+        # A bounded *forward* goto: conditionally skip the next statement,
+        # landing on a label defined later in the same snippet.  The label
+        # is fresh (function-scoped, counter-named) and the jump can only
+        # move forward, so termination is unaffected.
+        label = f"L{label_counter[0]}"
+        label_counter[0] += 1
+        skipped = draw(
+            statements(depth + 1, loop_depth, loop_counter, label_counter)
+        )
+        landing = draw(st.sampled_from(VARS))
+        return (
+            f"{indent}if {draw(conditions())} {{\n{indent}    goto {label};\n"
+            f"{indent}}}\n{skipped}\n"
+            f"{indent}{label}: {landing} = {landing};"
         )
     if kind == "switch":
         var = draw(st.sampled_from(VARS))
         arms = []
         for value in range(draw(st.integers(2, 4))):
-            body = draw(statements(depth + 1, loop_depth, loop_counter))
+            body = draw(
+                statements(depth + 1, loop_depth, loop_counter, label_counter)
+            )
             arms.append(f"{indent}case {value}:\n{body}\n{indent}    break;")
-        default = draw(statements(depth + 1, loop_depth, loop_counter))
+        default = draw(statements(depth + 1, loop_depth, loop_counter, label_counter))
         arms.append(f"{indent}default:\n{default}")
         joined = "\n".join(arms)
         return f"{indent}switch ({var} & 7) {{\n{joined}\n{indent}}}"
-    # A bounded for loop with a fresh counter variable that body
-    # statements can never write (VARS excludes loop counters).
+    # Every loop gets a fresh counter variable that body statements can
+    # never write (VARS excludes loop counters), so loops always terminate.
     counter = f"i{loop_counter[0]}"
     loop_counter[0] += 1
     bound = draw(st.integers(1, 6))
-    body = draw(statements(depth + 1, loop_depth + 1, loop_counter))
+    body = draw(statements(depth + 1, loop_depth + 1, loop_counter, label_counter))
+    if kind == "while":
+        # The counter advances at the top of the body, so a generated
+        # `continue` cannot skip it and loop forever.
+        return (
+            f"{indent}{counter} = 0;\n"
+            f"{indent}while ({counter} < {bound}) {{\n"
+            f"{indent}    {counter} = {counter} + 1;\n"
+            f"{body}\n{indent}}}"
+        )
+    if kind == "dowhile":
+        return (
+            f"{indent}{counter} = 0;\n"
+            f"{indent}do {{\n"
+            f"{indent}    {counter} = {counter} + 1;\n"
+            f"{body}\n{indent}}} while ({counter} < {bound});"
+        )
     return (
         f"{indent}for ({counter} = 0; {counter} < {bound}; {counter}++) {{\n"
         f"{body}\n{indent}}}"
@@ -99,9 +148,10 @@ def statements(draw, depth, loop_depth, loop_counter):
 @st.composite
 def programs(draw):
     loop_counter = [0]
+    label_counter = [0]
     n_stmts = draw(st.integers(1, 5))
     body = "\n".join(
-        draw(statements(0, 0, loop_counter)) for _ in range(n_stmts)
+        draw(statements(0, 0, loop_counter, label_counter)) for _ in range(n_stmts)
     )
     counters = "".join(f"    int i{k};\n" for k in range(max(1, loop_counter[0])))
     inits = "\n".join(
