@@ -134,6 +134,8 @@ def run_benchmark(
     ``cache`` (or the ``REPRO_CACHE_DIR`` environment variable) adds a
     persistent on-disk layer underneath the in-process memo.
     """
+    from ..obs import active as _active_observer
+
     spec = _spec_for(name, target, replication, policy, max_rtls, trace)
     key = _memo_key(spec)
     if use_cache and key in _measure_cache:
@@ -146,6 +148,11 @@ def run_benchmark(
         result = execute_cell(spec)
         if disk is not None and result.ok:
             disk.put_spec(spec, result)
+        # Fresh run: fold the cell's observability snapshot into the
+        # ambient observer (cache hits describe an earlier run's work).
+        observer = _active_observer()
+        if observer is not None and result.obs is not None:
+            observer.merge_snapshot(result.obs)
     measurement = _unwrap(result)
     if use_cache:
         _measure_cache[key] = measurement

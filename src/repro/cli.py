@@ -13,9 +13,15 @@ Commands
 ``list``      list the Table-3 benchmark programs
 ``bench``     run the (program × target × config) evaluation matrix in
               parallel through the persistent result cache
+``trace``     render the digest of a JSONL observability trace
 
 Programs are given either as a path to a ``.c`` file or as one of the
 benchmark names (``wc``, ``sieve``, …).
+
+Observability: every single-program command accepts ``--trace FILE`` to
+record spans, metrics and the replication decision log as JSONL while it
+runs (``REPRO_TRACE=FILE`` does the same for any command, including
+``bench``); ``repro trace FILE`` renders the digest afterwards.
 """
 
 from __future__ import annotations
@@ -72,6 +78,14 @@ def _config_arguments(parser: argparse.ArgumentParser) -> None:
         type=Path,
         default=None,
         help="file supplying the program's standard input",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="record spans, metrics and the replication decision log "
+        "to FILE as JSONL (render with `repro trace FILE`)",
     )
 
 
@@ -251,17 +265,28 @@ def cmd_stats(args) -> int:
 
 
 def cmd_dot(args) -> int:
-    """Emit Graphviz DOT for the CFGs."""
+    """Emit Graphviz DOT for the CFGs.
+
+    Under ``--trace`` the replication decision log is live, so blocks
+    created by code replication are annotated (filled light blue).
+    """
+    from .obs import active as _active_observer
     from .viz import to_dot
 
     result = _measure(args)
+    observer = _active_observer()
     funcs = (
         [result.program.functions[args.function]]
         if args.function
         else result.program.functions.values()
     )
     for func in funcs:
-        print(to_dot(func))
+        replicated = (
+            observer.decisions.replicated_labels(func.name)
+            if observer is not None
+            else None
+        )
+        print(to_dot(func, replicated=replicated))
     return 0
 
 
@@ -322,13 +347,18 @@ def cmd_bench(args) -> int:
     results = runner.run(specs, on_result=progress if not args.quiet else None)
     elapsed = time.perf_counter() - start
 
+    from .obs.metrics import MetricsRegistry
+
     rows = []
     failures = []
     instrumentation = PassInstrumentation()
+    metrics = MetricsRegistry()
     for result in results:
         if not result.ok:
             failures.append(result)
             continue
+        if not result.cache_hit and result.obs is not None:
+            metrics.merge_snapshot(result.obs.get("metrics"))
         m = result.measurement
         rows.append(
             [
@@ -379,6 +409,9 @@ def cmd_bench(args) -> int:
             "workers": runner.workers,
             "elapsed_seconds": elapsed,
             "cache": cache.stats() if cache is not None else None,
+            # Aggregated over fresh (non-cache-hit) cells only.
+            "passes": instrumentation.aggregate(),
+            "metrics": metrics.snapshot(),
             "cells": [
                 {
                     "program": r.spec.program,
@@ -406,6 +439,24 @@ def cmd_bench(args) -> int:
         print(f"\n--- {result.spec.label} failed ---", file=sys.stderr)
         print(result.error, file=sys.stderr)
     return 1 if failures else 0
+
+
+def cmd_trace(args) -> int:
+    """Render the digest of a JSONL observability trace."""
+    from .obs.sink import read_events
+    from .report import format_trace_digest
+
+    if not args.file.exists():
+        print(f"error: no such trace file: {args.file}", file=sys.stderr)
+        return 1
+    events, problems = read_events(args.file)
+    for problem in problems:
+        print(f"warning: {args.file}: {problem}", file=sys.stderr)
+    if not events:
+        print(f"error: {args.file} contains no trace events", file=sys.stderr)
+        return 1
+    print(format_trace_digest(events))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -533,7 +584,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_bench)
 
+    p = sub.add_parser(
+        "trace", help="render the digest of a JSONL observability trace"
+    )
+    p.add_argument(
+        "file",
+        type=Path,
+        help="JSONL trace written by --trace FILE or REPRO_TRACE=FILE",
+    )
+    p.set_defaults(func=cmd_trace)
+
     return parser
+
+
+def _trace_destination(args) -> Optional[Path]:
+    """Where (if anywhere) this invocation should write its trace.
+
+    An explicit ``--trace FILE`` wins; otherwise ``REPRO_TRACE`` applies
+    to any command except ``trace`` itself (tracing the digest renderer
+    would clobber the very file being read) and ``list``.  ``bench``
+    repurposes ``--trace`` as a boolean (block traces for the cache
+    simulations), so only the environment variable reaches it.
+    """
+    from .obs.sink import trace_path_from_env
+
+    explicit = getattr(args, "trace", None)
+    if isinstance(explicit, Path):
+        return explicit
+    if args.command in ("trace", "list"):
+        return None
+    destination = trace_path_from_env()
+    return Path(destination) if destination else None
+
+
+def _run_traced(args, destination: Path) -> int:
+    """Run the command under a fresh observer; write + summarize the trace."""
+    from .obs import observing
+    from .obs.digest import decision_digest
+    from .report import format_decision_digest
+
+    label = f"repro {args.command} {getattr(args, 'program', '')}".strip()
+    with observing(jsonl_path=destination, label=label) as observer:
+        code = args.func(args)
+    snapshot = observer.snapshot()
+    digest = decision_digest(snapshot["decisions"])
+    print("\n--- observability summary ---", file=sys.stderr)
+    print(format_decision_digest(digest), file=sys.stderr)
+    print(
+        f"wrote trace ({len(snapshot['spans'])} spans, "
+        f"{digest['total']} decisions) to {destination}",
+        file=sys.stderr,
+    )
+    return code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -541,6 +643,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        destination = _trace_destination(args)
+        if destination is not None:
+            return _run_traced(args, destination)
         return args.func(args)
     except BrokenPipeError:
         # Output piped into e.g. `head`; exit quietly like other CLIs.

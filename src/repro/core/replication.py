@@ -29,12 +29,16 @@ needed; the reducibility check of step 6 backs this heuristic up.
 from __future__ import annotations
 
 import enum
+from dataclasses import asdict, dataclass, fields
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..cfg.block import BasicBlock, Function
 from ..cfg.graph import compute_flow
 from ..cfg.loops import Loop, LoopInfo, find_loops
 from ..cfg.reducibility import is_reducible
+from ..obs import active as _active_observer
+from ..obs.decisions import ReplicationDecision
+from ..obs.tracer import NULL_SPAN
 from ..rtl.insn import CondBranch, IndirectJump, Jump, Return
 from .shortest_path import ShortestPathMatrix
 
@@ -62,20 +66,32 @@ class Policy(enum.Enum):
     FAVOR_LOOPS = "loops"
 
 
+@dataclass
 class ReplicationStats:
-    """Counters describing what one engine run did."""
+    """Counters describing what one engine run did.
 
-    def __init__(self) -> None:
-        self.jumps_replaced = 0
-        self.rtls_replicated = 0
-        self.rollbacks = 0
-        self.jumps_kept = 0
+    :meth:`merge` folds another run in by iterating
+    ``dataclasses.fields``, so a counter added to this class is merged
+    automatically — a regression test asserts no field can be silently
+    dropped when stats from per-function runs are combined (e.g. by
+    :func:`repro.core.jumps.replicate_jumps_in_program`).
+    """
+
+    jumps_replaced: int = 0
+    rtls_replicated: int = 0
+    rollbacks: int = 0
+    jumps_kept: int = 0
 
     def merge(self, other: "ReplicationStats") -> None:
-        self.jumps_replaced += other.jumps_replaced
-        self.rtls_replicated += other.rtls_replicated
-        self.rollbacks += other.rollbacks
-        self.jumps_kept += other.jumps_kept
+        for spec in fields(self):
+            setattr(
+                self,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
+
+    def as_dict(self) -> dict:
+        return asdict(self)
 
     def __repr__(self) -> str:
         return (
@@ -131,30 +147,46 @@ class CodeReplicator:
     def run(self, func: Function) -> ReplicationStats:
         """Replace unconditional jumps in ``func``; return statistics."""
         stats = ReplicationStats()
+        obs = _active_observer()
+        tracer = obs.tracer if obs is not None and obs.tracer.enabled else None
         budget = self.max_replications
         progress = True
+        sweep = 0
         while progress and budget > 0:
             if len(func.blocks) >= self.max_function_blocks:
                 break
             progress = False
-            compute_flow(func)
-            matrix = ShortestPathMatrix(func)  # step 1
-            # Step 2: traverse the blocks sequentially.  The matrix stays
-            # valid across replacements within one sweep: replication only
-            # adds blocks, so recorded shortest paths remain intact.
-            position = 0
-            while position < len(func.blocks) and budget > 0:
-                block = func.blocks[position]
-                term = block.terminator
-                # The final, allow_irreducible invocation retries jumps that
-                # earlier passes flagged as unreplaceable (§5.1).
-                if isinstance(term, Jump) and (
-                    self.allow_irreducible or not term.no_replicate
+            sweep += 1
+            with (
+                tracer.span("jumps.sweep", function=func.name, sweep=sweep)
+                if tracer is not None
+                else NULL_SPAN
+            ):
+                compute_flow(func)
+                with (
+                    tracer.span("jumps.step1.shortest_paths")
+                    if tracer is not None
+                    else NULL_SPAN
                 ):
-                    if self._replace_jump(func, block, term, matrix, stats):
-                        progress = True
-                        budget -= 1
-                position += 1
+                    matrix = ShortestPathMatrix(func)  # step 1
+                # Step 2: traverse the blocks sequentially.  The matrix stays
+                # valid across replacements within one sweep: replication only
+                # adds blocks, so recorded shortest paths remain intact.
+                position = 0
+                while position < len(func.blocks) and budget > 0:
+                    block = func.blocks[position]
+                    term = block.terminator
+                    # The final, allow_irreducible invocation retries jumps
+                    # that earlier passes flagged as unreplaceable (§5.1).
+                    if isinstance(term, Jump) and (
+                        self.allow_irreducible or not term.no_replicate
+                    ):
+                        if self._replace_jump(
+                            func, block, term, matrix, stats, obs, tracer
+                        ):
+                            progress = True
+                            budget -= 1
+                    position += 1
         return stats
 
     # ----------------------------------------------------------- jump handling
@@ -166,23 +198,50 @@ class CodeReplicator:
         jump: Jump,
         matrix: ShortestPathMatrix,
         stats: ReplicationStats,
+        obs=None,
+        tracer=None,
     ) -> bool:
+        def decide(outcome: str, reason: str = "", **extra) -> None:
+            """Emit one decision-log event + outcome counters."""
+            if obs is None:
+                return
+            obs.metrics.inc(f"replication.{outcome}")
+            if reason:
+                obs.metrics.inc(f"replication.reason.{reason}")
+            if obs.decisions.enabled:
+                obs.decisions.record(
+                    ReplicationDecision(
+                        function=func.name,
+                        block=block.label,
+                        target=jump.target,
+                        mode=self.mode.value,
+                        policy=self.policy.value,
+                        outcome=outcome,
+                        reason=reason,
+                        **extra,
+                    )
+                )
+
         if self.jump_filter is not None and not self.jump_filter(
             func, block, jump
         ):
+            decide("kept", "filtered")
             return False
         try:
             target = func.block_by_label(jump.target)
         except KeyError:
+            decide("kept", "unresolved_target")
             return False
         if target is block:
             # A jump to the start of its own block: an infinite loop.  The
             # paper notes these provide no replacement opportunity.
+            decide("kept", "self_loop")
             return False
         follow = func.next_block(block)
         if id(target) not in matrix.index and target is not follow:
             # The target was created by a replication during this sweep and
             # is not in the matrix yet; retry with a fresh matrix next sweep.
+            decide("kept", "stale_target")
             return False
 
         # A jump straight to the next block is simply redundant.
@@ -190,33 +249,95 @@ class CodeReplicator:
             block.insns.pop()
             compute_flow(func)
             stats.jumps_replaced += 1
+            decide("redundant")
             return True
 
         loops = find_loops(func)
-        for sequence, ends_by_fallthrough in self._candidate_sequences(
-            target, follow, matrix
-        ):
-            completed = self._complete_loops(func, block, sequence, loops)
-            if completed is None:
-                continue
-            if (
-                self.max_rtls is not None
-                and sum(b.size() for b in completed) > self.max_rtls
+        with (
+            tracer.span("jumps.step2.select", block=block.label)
+            if tracer is not None
+            else NULL_SPAN
+        ) as select_span:
+            options = self._candidate_sequences(target, follow, matrix)
+        select_span.set(options=len(options))
+        attempts = 0
+        rollbacks = 0
+        last_reason = "no_candidates"
+        last_kind = ""
+        last_blocks = 0
+        last_rtls = 0
+        for sequence, ends_by_fallthrough in options:
+            attempts += 1
+            last_kind = "fallthrough" if ends_by_fallthrough else "returns"
+            with (
+                tracer.span("jumps.step3.complete_loops")
+                if tracer is not None
+                else NULL_SPAN
             ):
+                completed = self._complete_loops(func, block, sequence, loops)
+            if completed is None:
+                last_reason = "loop_completion"
+                last_blocks = len(sequence)
+                last_rtls = sum(b.size() for b in sequence)
+                continue
+            last_blocks = len(completed)
+            last_rtls = sum(b.size() for b in completed)
+            if self.max_rtls is not None and last_rtls > self.max_rtls:
+                last_reason = "max_rtls"
                 continue
             if not self._admissible(block, completed, follow, loops, ends_by_fallthrough):
+                last_reason = "inadmissible"
                 continue
-            undo = self._apply(
-                func, block, completed, follow, ends_by_fallthrough, loops
-            )
-            if self.allow_irreducible or is_reducible(func):
+            with (
+                tracer.span("jumps.step4_5.apply", blocks=last_blocks)
+                if tracer is not None
+                else NULL_SPAN
+            ):
+                undo, copies = self._apply(
+                    func, block, completed, follow, ends_by_fallthrough, loops
+                )
+            with (
+                tracer.span("jumps.step6.reducibility")
+                if tracer is not None
+                else NULL_SPAN
+            ):
+                reducible = self.allow_irreducible or is_reducible(func)
+            if reducible:
                 stats.jumps_replaced += 1
-                stats.rtls_replicated += sum(b.size() for b in completed)
+                stats.rtls_replicated += last_rtls
+                decide(
+                    "accepted",
+                    sequence_kind=last_kind,
+                    sequence_blocks=last_blocks,
+                    sequence_rtls=last_rtls,
+                    attempts=attempts,
+                    rollbacks=rollbacks,
+                    copies=copies,
+                )
+                if obs is not None:
+                    obs.metrics.inc("replication.rtls_replicated", last_rtls)
+                    obs.metrics.observe("replication.sequence_rtls", last_rtls)
+                    obs.metrics.observe(
+                        "replication.sequence_blocks", last_blocks
+                    )
                 return True
             undo()  # step 6: roll back and try the alternative sequence
             stats.rollbacks += 1
+            rollbacks += 1
+            if obs is not None:
+                obs.metrics.inc("replication.rollback")
+            last_reason = "irreducible"
         jump.no_replicate = True
         stats.jumps_kept += 1
+        decide(
+            "rejected",
+            last_reason,
+            sequence_kind=last_kind,
+            sequence_blocks=last_blocks,
+            sequence_rtls=last_rtls,
+            attempts=attempts,
+            rollbacks=rollbacks,
+        )
         return False
 
     def _candidate_sequences(
@@ -346,11 +467,12 @@ class CodeReplicator:
         follow: Optional[BasicBlock],
         ends_by_fallthrough: bool,
         loops: LoopInfo,
-    ) -> Callable[[], None]:
+    ) -> Tuple[Callable[[], None], List[str]]:
         """Copy ``sequence`` after ``jump_block`` and rewire the control flow.
 
-        Returns an ``undo`` callable restoring the function exactly, used by
-        the step-6 reducibility rollback.
+        Returns an ``undo`` callable restoring the function exactly (used
+        by the step-6 reducibility rollback) plus the labels of the new
+        blocks (replica copies and branch stubs) for the decision log.
         """
         removed_jump = jump_block.insns.pop()  # the unconditional jump
         copies = [BasicBlock(func.new_label()) for _ in sequence]
@@ -418,7 +540,7 @@ class CodeReplicator:
                 branch.target = old_target
             compute_flow(func)
 
-        return undo
+        return undo, [b.label for b in new_blocks]
 
     def _finish_copy(
         self,

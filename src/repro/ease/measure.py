@@ -21,6 +21,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..cfg.block import Program
+from ..obs import active as _active_observer
+from ..obs.tracer import NULL_SPAN
 from ..rtl.insn import Call, CondBranch, IndirectJump, Insn, Jump, Nop, Return
 from ..targets.machine import Machine
 from .interp import Interpreter
@@ -76,57 +78,81 @@ def measure_program(
     """Run ``program`` and measure it with the target's size/count model."""
     measurement = Measurement()
     interp = interpreter or Interpreter(program, max_steps=max_steps)
+    obs = _active_observer()
+    tracer = obs.tracer if obs is not None and obs.tracer.enabled else None
 
     # --- static layout ---------------------------------------------------------
-    address = 0x1000
-    block_weights: Dict[int, Tuple[int, int, int, int]] = {}
-    for func in program.functions.values():
-        for index, block in enumerate(func.blocks):
-            fetches: List[int] = []
-            insn_weight = 0
-            jumps = 0
-            nops = 0
-            branches = 0
-            for insn in block.insns:
-                count = target.insn_count(insn)
-                size = target.insn_size(insn)
-                measurement.static_insns += count
-                if isinstance(insn, Jump):
-                    measurement.static_jumps += 1
-                    jumps += 1
-                if isinstance(insn, Nop):
-                    measurement.static_nops += 1
-                    nops += 1
-                if _is_transfer_for_stats(insn):
-                    branches += 1
-                insn_weight += count
-                # One fetch per machine instruction the RTL stands for.
-                step = size // max(1, count)
-                for k in range(count):
-                    fetches.append(address + k * step)
-                address += size
-            global_id = interp.global_block_id(func.name, index)
-            measurement.block_fetches[global_id] = fetches
-            block_weights[global_id] = (insn_weight, jumps, nops, branches)
-            # Indirect-jump tables occupy data space after the block.
-            term = block.terminator
-            if isinstance(term, IndirectJump):
-                address += 4 * len(term.targets)
-        address = (address + 15) & ~15  # align functions
-    measurement.code_bytes = address - 0x1000
+    with (
+        tracer.span("ease.layout") if tracer is not None else NULL_SPAN
+    ) as layout_span:
+        address = 0x1000
+        block_weights: Dict[int, Tuple[int, int, int, int]] = {}
+        for func in program.functions.values():
+            for index, block in enumerate(func.blocks):
+                fetches: List[int] = []
+                insn_weight = 0
+                jumps = 0
+                nops = 0
+                branches = 0
+                for insn in block.insns:
+                    count = target.insn_count(insn)
+                    size = target.insn_size(insn)
+                    measurement.static_insns += count
+                    if isinstance(insn, Jump):
+                        measurement.static_jumps += 1
+                        jumps += 1
+                    if isinstance(insn, Nop):
+                        measurement.static_nops += 1
+                        nops += 1
+                    if _is_transfer_for_stats(insn):
+                        branches += 1
+                    insn_weight += count
+                    # One fetch per machine instruction the RTL stands for.
+                    step = size // max(1, count)
+                    for k in range(count):
+                        fetches.append(address + k * step)
+                    address += size
+                global_id = interp.global_block_id(func.name, index)
+                measurement.block_fetches[global_id] = fetches
+                block_weights[global_id] = (insn_weight, jumps, nops, branches)
+                # Indirect-jump tables occupy data space after the block.
+                term = block.terminator
+                if isinstance(term, IndirectJump):
+                    address += 4 * len(term.targets)
+            address = (address + 15) & ~15  # align functions
+        measurement.code_bytes = address - 0x1000
+        layout_span.set(
+            static_insns=measurement.static_insns,
+            code_bytes=measurement.code_bytes,
+        )
 
     # --- dynamic run --------------------------------------------------------------
-    result = interp.run(stdin=stdin, trace=trace)
+    with (
+        tracer.span("ease.interp", trace=trace) if tracer is not None else NULL_SPAN
+    ) as interp_span:
+        result = interp.run(stdin=stdin, trace=trace)
     measurement.output = result.output
     measurement.exit_code = result.exit_code
     if trace:
         measurement.trace = result.trace
 
-    for (func_name, block_index), count in result.block_counts.items():
-        global_id = interp.global_block_id(func_name, block_index)
-        weight, jumps, nops, branches = block_weights[global_id]
-        measurement.dynamic_insns += weight * count
-        measurement.dynamic_jumps += jumps * count
-        measurement.dynamic_nops += nops * count
-        measurement.dynamic_branches += branches * count
+    with (
+        tracer.span("ease.account") if tracer is not None else NULL_SPAN
+    ):
+        for (func_name, block_index), count in result.block_counts.items():
+            global_id = interp.global_block_id(func_name, block_index)
+            weight, jumps, nops, branches = block_weights[global_id]
+            measurement.dynamic_insns += weight * count
+            measurement.dynamic_jumps += jumps * count
+            measurement.dynamic_nops += nops * count
+            measurement.dynamic_branches += branches * count
+    interp_span.set(
+        dynamic_insns=measurement.dynamic_insns,
+        dynamic_jumps=measurement.dynamic_jumps,
+        exit_code=measurement.exit_code,
+    )
+    if obs is not None:
+        obs.metrics.inc("ease.runs")
+        obs.metrics.inc("ease.dynamic_insns", measurement.dynamic_insns)
+        obs.metrics.inc("ease.dynamic_jumps", measurement.dynamic_jumps)
     return measurement

@@ -87,6 +87,9 @@ class ResultCache:
         A corrupted entry is deleted (counted as an eviction) and reported
         as a miss, so the caller recomputes and heals the cache.
         """
+        from ..obs import active as _active_observer
+
+        obs = _active_observer()
         path = self._path(key)
         try:
             blob = path.read_bytes()
@@ -95,17 +98,24 @@ class ResultCache:
                 raise pickle.UnpicklingError(f"expected CellResult, got {type(result)}")
         except FileNotFoundError:
             self.misses += 1
+            if obs is not None:
+                obs.metrics.inc("exec.cache.misses")
             return None
         except Exception:
             # Truncated write, foreign object, unpicklable garbage: evict.
             self.evictions += 1
             self.misses += 1
+            if obs is not None:
+                obs.metrics.inc("exec.cache.evictions")
+                obs.metrics.inc("exec.cache.misses")
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.hits += 1
+        if obs is not None:
+            obs.metrics.inc("exec.cache.hits")
         return result
 
     def put(self, key: str, result: CellResult) -> None:
@@ -126,6 +136,11 @@ class ResultCache:
                 pass
             raise
         self.writes += 1
+        from ..obs import active as _active_observer
+
+        obs = _active_observer()
+        if obs is not None:
+            obs.metrics.inc("exec.cache.writes")
 
     def get_spec(self, spec: CellSpec) -> Optional[CellResult]:
         return self.get(self.key(spec))

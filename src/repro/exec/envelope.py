@@ -22,7 +22,9 @@ __all__ = ["CellSpec", "CellResult", "CACHE_SCHEMA_VERSION"]
 
 #: Bump whenever the envelope layout or the meaning of a measurement
 #: changes; old cache entries become unreachable (different keys).
-CACHE_SCHEMA_VERSION = 1
+#: v2: CellSpec grew ``observe``; CellResult grew ``obs`` (the
+#: observability snapshot: spans, metrics, replication decision log).
+CACHE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -45,6 +47,12 @@ class CellSpec:
     #: Debug: validate CFG invariants after every optimizer pass.  Does
     #: not change the result, so it is excluded from the cache key.
     validate_cfg: bool = False
+    #: Collect tracer spans while executing the cell (metrics and the
+    #: replication decision log are always collected).  Observability
+    #: does not change the result, so this too is excluded from the
+    #: cache key — a cached cell may carry a sparser snapshot than a
+    #: fresh observed run would produce.
+    observe: bool = False
 
     def resolve(self) -> Tuple[str, bytes]:
         """The (source text, stdin bytes) this cell actually runs."""
@@ -79,6 +87,9 @@ class CellResult:
     #: Per-pass instrumentation records as plain dicts
     #: (see :class:`repro.opt.instrument.PassRecord`).
     passes: List[dict] = field(default_factory=list)
+    #: Observability snapshot (``repro.obs.Observer.snapshot()``): spans
+    #: (when the spec asked for them), metrics, replication decisions.
+    obs: Optional[dict] = None
     compile_seconds: float = 0.0
     optimize_seconds: float = 0.0
     measure_seconds: float = 0.0

@@ -36,8 +36,22 @@ def default_worker_count() -> int:
 
 
 def execute_cell(spec: CellSpec) -> CellResult:
-    """Run one matrix cell; never raises — failures land in the envelope."""
+    """Run one matrix cell; never raises — failures land in the envelope.
+
+    Every cell runs under its own :class:`repro.obs.Observer` (spans only
+    when ``spec.observe`` asks for them, or when the calling process is
+    itself tracing; metrics and the replication decision log always).
+    The snapshot ships back in ``result.obs`` so the parent process can
+    fold worker observations into its ambient observer.
+    """
+    from ..obs import Observer, active, deactivate, install
+
     result = CellResult(spec=spec)
+    previous = active()
+    observer = Observer(
+        spans=spec.observe or (previous is not None and previous.tracer.enabled)
+    )
+    install(observer)
     try:
         from dataclasses import asdict
 
@@ -47,42 +61,44 @@ def execute_cell(spec: CellSpec) -> CellResult:
         from ..opt.instrument import PassInstrumentation
         from ..targets.machine import get_target
 
-        source, stdin = spec.resolve()
-        target = get_target(spec.target)
+        with observer.span("exec.cell", label=spec.label):
+            source, stdin = spec.resolve()
+            target = get_target(spec.target)
 
-        start = perf_counter()
-        program = compile_c(source)
-        result.compile_seconds = perf_counter() - start
-
-        if spec.optimize:
-            from ..api import POLICIES
-
-            config = OptimizationConfig(
-                replication=spec.replication,
-                policy=POLICIES[spec.policy],
-                max_rtls=spec.max_rtls,
-                validate_cfg=spec.validate_cfg,
-            )
-            instrumentation = PassInstrumentation()
             start = perf_counter()
-            stats = optimize_program(program, target, config, instrumentation)
-            result.optimize_seconds = perf_counter() - start
-            result.replication_stats = {
-                "jumps_replaced": stats.jumps_replaced,
-                "rtls_replicated": stats.rtls_replicated,
-                "rollbacks": stats.rollbacks,
-                "jumps_kept": stats.jumps_kept,
-            }
-            result.passes = [asdict(rec) for rec in instrumentation.records]
+            program = compile_c(source)
+            result.compile_seconds = perf_counter() - start
 
-        start = perf_counter()
-        result.measurement = measure_program(
-            program, target, stdin=stdin, trace=spec.trace
-        )
-        result.measure_seconds = perf_counter() - start
+            if spec.optimize:
+                from ..api import POLICIES
+
+                config = OptimizationConfig(
+                    replication=spec.replication,
+                    policy=POLICIES[spec.policy],
+                    max_rtls=spec.max_rtls,
+                    validate_cfg=spec.validate_cfg,
+                )
+                instrumentation = PassInstrumentation()
+                start = perf_counter()
+                stats = optimize_program(program, target, config, instrumentation)
+                result.optimize_seconds = perf_counter() - start
+                result.replication_stats = stats.as_dict()
+                result.passes = [asdict(rec) for rec in instrumentation.records]
+
+            start = perf_counter()
+            result.measurement = measure_program(
+                program, target, stdin=stdin, trace=spec.trace
+            )
+            result.measure_seconds = perf_counter() - start
     except BaseException:
         result.error = traceback.format_exc()
         result.measurement = None
+    finally:
+        if previous is not None:
+            install(previous)
+        else:
+            deactivate()
+        result.obs = observer.snapshot()
     return result
 
 
@@ -107,6 +123,20 @@ class ParallelRunner:
         ``on_result`` (if given) is called once per finished cell, in
         completion order — useful for progress reporting.
         """
+        from dataclasses import replace
+
+        from ..obs import active as _active_observer
+
+        # When this process is tracing, ask the cells for spans too —
+        # worker processes have no ambient observer, so the intent must
+        # travel inside the spec (it is excluded from the cache key).
+        ambient = _active_observer()
+        if ambient is not None and ambient.tracer.enabled:
+            specs = [
+                spec if spec.observe else replace(spec, observe=True)
+                for spec in specs
+            ]
+
         results: List[Optional[CellResult]] = [None] * len(specs)
         pending: List[int] = []
 
@@ -127,6 +157,15 @@ class ParallelRunner:
             if self.cache is not None and result.ok:
                 self.cache.put_spec(specs[index], result)
             results[index] = result
+            # Fold the cell's observability snapshot into this process's
+            # ambient observer.  execute_cell always records into its own
+            # per-cell observer (even inline), so this is the single merge
+            # point for both pool and inline execution.  Only fresh
+            # results: a cache hit's snapshot describes work an *earlier*
+            # run performed.
+            observer = _active_observer()
+            if observer is not None and result.obs is not None:
+                observer.merge_snapshot(result.obs)
             if on_result is not None:
                 on_result(result)
 

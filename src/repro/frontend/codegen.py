@@ -713,21 +713,38 @@ def _encode_global(decl: ast.GlobalDecl, env: _UnitEnv) -> GlobalData:
 
 def compile_c(source: str) -> Program:
     """Compile mini-C source text into an (unoptimized) RTL program."""
-    unit = parse(source)
-    program = Program()
-    env = _UnitEnv(program)
+    from ..obs import active as _active_observer
+    from ..obs.tracer import NULL_SPAN
 
-    for decl in unit.globals:
-        data = _encode_global(decl, env)
-        program.add_global(data)
-        env.globals[decl.name] = _Var("global", decl.name, decl.var_type)
+    obs = _active_observer()
+    tracer = obs.tracer if obs is not None and obs.tracer.enabled else None
 
-    for definition in unit.functions:
-        env.function_types[definition.name] = (
-            definition.return_type,
-            [p.param_type for p in definition.params],
+    with (
+        tracer.span("frontend.parse", bytes=len(source))
+        if tracer is not None
+        else NULL_SPAN
+    ):
+        unit = parse(source)
+    with (
+        tracer.span("frontend.codegen") if tracer is not None else NULL_SPAN
+    ) as codegen_span:
+        program = Program()
+        env = _UnitEnv(program)
+
+        for decl in unit.globals:
+            data = _encode_global(decl, env)
+            program.add_global(data)
+            env.globals[decl.name] = _Var("global", decl.name, decl.var_type)
+
+        for definition in unit.functions:
+            env.function_types[definition.name] = (
+                definition.return_type,
+                [p.param_type for p in definition.params],
+            )
+        for definition in unit.functions:
+            codegen = _FunctionCodegen(env, definition)
+            program.add_function(codegen.generate())
+        codegen_span.set(
+            functions=len(program.functions), globals=len(program.globals)
         )
-    for definition in unit.functions:
-        codegen = _FunctionCodegen(env, definition)
-        program.add_function(codegen.generate())
     return program

@@ -1,0 +1,64 @@
+"""repro.obs — tracing, metrics and the replication decision log.
+
+The unified observability subsystem (zero external dependencies):
+
+* :mod:`repro.obs.tracer` — nested spans with monotonic timing;
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms,
+  mergeable across worker processes;
+* :mod:`repro.obs.decisions` — one structured event per candidate jump
+  the replication engine examined (accept / reject / rollback + reason);
+* :mod:`repro.obs.observer` — the ambient bundle instrumented code
+  talks to (``active()`` is the single hot-path check);
+* :mod:`repro.obs.sink` — the JSONL trace writer/reader behind
+  ``REPRO_TRACE=path`` and the ``--trace`` CLI flag;
+* :mod:`repro.obs.digest` — aggregation for ``repro trace`` and the
+  terminal summary;
+* :mod:`repro.obs.passes` — per-pass timing records (the storage behind
+  the ``repro.opt.instrument`` compatibility shim).
+
+Quickstart::
+
+    from repro.obs import observing
+
+    with observing(jsonl_path="out.jsonl") as obs:
+        compile_and_measure("sieve", replication="jumps")
+    print(obs.metrics.counters["replication.accepted"])
+"""
+
+from .decisions import DecisionLog, ReplicationDecision
+from .digest import aggregate_spans, decision_digest, split_events
+from .metrics import DEFAULT_BUCKETS, MetricsRegistry
+from .observer import Observer, active, deactivate, install, observing
+from .passes import PassRecord, PassTimeline, jump_count, rtl_count
+from .sink import (
+    TRACE_SCHEMA_VERSION,
+    read_events,
+    trace_path_from_env,
+    write_events,
+)
+from .tracer import Span, Tracer
+
+__all__ = [
+    "DecisionLog",
+    "ReplicationDecision",
+    "aggregate_spans",
+    "decision_digest",
+    "split_events",
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "Observer",
+    "active",
+    "deactivate",
+    "install",
+    "observing",
+    "PassRecord",
+    "PassTimeline",
+    "jump_count",
+    "rtl_count",
+    "TRACE_SCHEMA_VERSION",
+    "read_events",
+    "trace_path_from_env",
+    "write_events",
+    "Span",
+    "Tracer",
+]

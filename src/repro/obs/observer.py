@@ -1,0 +1,150 @@
+"""The observer: one bundle of tracer + metrics + decision log.
+
+An :class:`Observer` is what the rest of the code base talks to.  It is
+installed *ambiently* — :func:`install` makes it the process-wide active
+observer, :func:`active` retrieves it (or ``None``), and instrumented
+code guards every touch with that single ``None`` check, so the
+un-observed hot path costs one global read.
+
+:func:`observing` is the ergonomic front door::
+
+    with observing(jsonl_path="out.jsonl") as obs:
+        compile_and_measure("sieve", replication="jumps")
+    # out.jsonl now holds spans, metrics and the decision log
+
+Observers are process-local.  Worker processes of the parallel
+execution layer build their own observer per cell and ship a
+:meth:`Observer.snapshot` back inside the result envelope; the parent
+folds it in with :meth:`Observer.merge_snapshot`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Union
+
+from .decisions import DecisionLog
+from .metrics import MetricsRegistry
+from .sink import trace_path_from_env, write_events
+from .tracer import Tracer
+
+__all__ = [
+    "Observer",
+    "install",
+    "deactivate",
+    "active",
+    "observing",
+    "observer_from_env",
+]
+
+_ACTIVE: Optional[Observer] = None
+
+
+class Observer:
+    """Tracer + metrics + replication decision log, as one unit."""
+
+    def __init__(self, spans: bool = True, decisions: bool = True) -> None:
+        self.tracer = Tracer(enabled=spans)
+        self.metrics = MetricsRegistry()
+        self.decisions = DecisionLog(enabled=decisions)
+
+    # Convenience pass-throughs so call sites read naturally.
+
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self.metrics.inc(name, amount)
+
+    def observe_value(self, name: str, value: float, **kwargs) -> None:
+        self.metrics.observe(name, value, **kwargs)
+
+    # --- export / merge -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything collected so far, as plain pickle/JSON-safe data."""
+        return {
+            "spans": self.tracer.as_dicts(),
+            "metrics": self.metrics.snapshot(),
+            "decisions": self.decisions.as_dicts(),
+        }
+
+    def merge_snapshot(self, snap: Optional[dict]) -> None:
+        """Fold a worker's :meth:`snapshot` into this observer."""
+        if not snap:
+            return
+        self.tracer.merge_dicts(snap.get("spans"))
+        self.metrics.merge_snapshot(snap.get("metrics"))
+        self.decisions.merge_dicts(snap.get("decisions"))
+
+    def events(self) -> List[dict]:
+        """The collected data as a flat JSONL-ready event list."""
+        rows: List[dict] = [
+            {"event": "span", **span} for span in self.tracer.as_dicts()
+        ]
+        rows.extend(
+            {"event": "replication.decision", **decision}
+            for decision in self.decisions.as_dicts()
+        )
+        if not self.metrics.is_empty():
+            rows.append({"event": "metrics", "data": self.metrics.snapshot()})
+        return rows
+
+    def write_jsonl(
+        self, destination: Union[str, os.PathLike], label: str = ""
+    ) -> int:
+        """Write the trace as JSONL; returns the number of events."""
+        return write_events(destination, self.events(), label=label)
+
+
+# --- ambient installation ------------------------------------------------------
+
+
+def install(observer: Observer) -> Observer:
+    """Make ``observer`` the process-wide active observer."""
+    global _ACTIVE
+    _ACTIVE = observer
+    return observer
+
+
+def deactivate() -> Optional[Observer]:
+    """Clear the active observer; returns what was installed."""
+    global _ACTIVE
+    previous, _ACTIVE = _ACTIVE, None
+    return previous
+
+
+def active() -> Optional[Observer]:
+    """The installed observer, or ``None`` — the one hot-path check."""
+    return _ACTIVE
+
+
+@contextmanager
+def observing(
+    jsonl_path: Optional[Union[str, os.PathLike]] = None,
+    spans: bool = True,
+    decisions: bool = True,
+    label: str = "",
+) -> Iterator[Observer]:
+    """Install a fresh observer for the duration of the block.
+
+    The previously active observer (if any) is restored on exit, and the
+    trace is written to ``jsonl_path`` when given — also on exceptions,
+    so a crashed run still leaves its trace behind.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    observer = Observer(spans=spans, decisions=decisions)
+    _ACTIVE = observer
+    try:
+        yield observer
+    finally:
+        _ACTIVE = previous
+        if jsonl_path is not None:
+            observer.write_jsonl(jsonl_path, label=label)
+
+
+def observer_from_env() -> Optional[str]:
+    """The ``REPRO_TRACE`` trace destination, if configured."""
+    return trace_path_from_env()

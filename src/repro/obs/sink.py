@@ -1,0 +1,97 @@
+"""JSONL event sink and reader.
+
+A trace file is a stream of JSON objects, one per line, each carrying an
+``"event"`` discriminator:
+
+``meta``                    one header line: schema version, argv, label
+``span``                    one completed tracer span
+``metrics``                 one metrics-registry snapshot
+``replication.decision``    one replication decision-log entry
+
+The format is append-friendly and greppable; ``repro trace FILE``
+renders it, and the reader below tolerates (and reports) malformed
+lines so a truncated file from a crashed run still loads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Iterable, List, Optional, Tuple, Union
+
+__all__ = ["TRACE_SCHEMA_VERSION", "write_events", "read_events", "trace_path_from_env"]
+
+#: Bump when the event layout changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+#: Environment variable naming a JSONL trace destination; when set, the
+#: CLI activates observability for the whole command automatically.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+
+def trace_path_from_env() -> Optional[str]:
+    """The ``REPRO_TRACE`` destination, or ``None`` when unset/empty."""
+    return os.environ.get(TRACE_ENV_VAR) or None
+
+
+def write_events(
+    destination: Union[str, os.PathLike, IO[str]],
+    events: Iterable[dict],
+    label: str = "",
+) -> int:
+    """Write a ``meta`` header plus ``events`` as JSONL; return the count."""
+    meta = {
+        "event": "meta",
+        "schema": TRACE_SCHEMA_VERSION,
+        "label": label,
+    }
+    count = 0
+
+    def emit(handle: IO[str]) -> int:
+        written = 0
+        handle.write(json.dumps(meta, separators=(",", ":")) + "\n")
+        for event in events:
+            handle.write(json.dumps(event, separators=(",", ":")) + "\n")
+            written += 1
+        return written
+
+    if hasattr(destination, "write"):
+        count = emit(destination)  # type: ignore[arg-type]
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            count = emit(handle)
+    return count
+
+
+def read_events(
+    source: Union[str, os.PathLike, IO[str]],
+) -> Tuple[List[dict], List[str]]:
+    """Parse a JSONL trace; returns ``(events, problems)``.
+
+    Malformed lines do not abort the read — they are summarized in
+    ``problems`` so a digest over a truncated trace can still render.
+    """
+    events: List[dict] = []
+    problems: List[str] = []
+
+    def consume(handle: IO[str]) -> None:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append(f"line {lineno}: {exc}")
+                continue
+            if not isinstance(event, dict) or "event" not in event:
+                problems.append(f"line {lineno}: not an event object")
+                continue
+            events.append(event)
+
+    if hasattr(source, "read"):
+        consume(source)  # type: ignore[arg-type]
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            consume(handle)
+    return events, problems

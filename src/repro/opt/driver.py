@@ -44,6 +44,8 @@ from typing import Callable, Optional
 from ..cfg.block import Function, Program
 from ..cfg.graph import check_function, compute_flow
 from ..core.replication import CodeReplicator, Policy, ReplicationMode, ReplicationStats
+from ..obs import active as _active_observer
+from ..obs.tracer import NULL_SPAN
 from ..targets.delay_slots import fill_delay_slots
 from ..targets.machine import Machine, get_target
 from .branch_chaining import branch_chaining
@@ -114,12 +116,19 @@ def optimize_function(
 
     With ``instrumentation`` given, every pass invocation is timed and
     bracketed by an RTL / jump census (see :mod:`repro.opt.instrument`).
-    With ``config.validate_cfg`` set, the CFG invariant validator runs
-    after every pass and raises ``AssertionError`` on the first pass that
-    leaves the graph inconsistent.
+    With an ambient observer installed (:func:`repro.obs.active`), every
+    pass additionally becomes a tracer span nested under an
+    ``opt.function`` root, and pass/change counters land in the metrics
+    registry.  With ``config.validate_cfg`` set, the CFG invariant
+    validator runs after every pass and raises ``AssertionError`` on the
+    first pass that leaves the graph inconsistent.
     """
     stats = ReplicationStats()
-    observe = instrumentation is not None or config.validate_cfg
+    obs = _active_observer()
+    tracer = obs.tracer if obs is not None and obs.tracer.enabled else None
+    observe = (
+        instrumentation is not None or config.validate_cfg or obs is not None
+    )
 
     def step(name: str, pass_fn: Callable[[], object]) -> bool:
         if not observe:
@@ -127,16 +136,26 @@ def optimize_function(
         rtls_before = rtl_count(func)
         jumps_before = jump_count(func)
         start = perf_counter()
-        outcome = pass_fn()
+        with (
+            tracer.span(f"opt.{name}") if tracer is not None else NULL_SPAN
+        ) as span:
+            outcome = pass_fn()
         elapsed = perf_counter() - start
+        rtl_delta = rtl_count(func) - rtls_before
+        jumps_removed = jumps_before - jump_count(func)
+        span.set(
+            rtl_delta=rtl_delta,
+            jumps_removed=jumps_removed,
+            changed=bool(outcome),
+        )
         if instrumentation is not None:
             instrumentation.record(
-                name,
-                elapsed,
-                rtl_count(func) - rtls_before,
-                jumps_before - jump_count(func),
-                bool(outcome),
+                name, elapsed, rtl_delta, jumps_removed, bool(outcome)
             )
+        if obs is not None:
+            obs.metrics.inc("opt.pass_invocations")
+            if outcome:
+                obs.metrics.inc("opt.pass_changes")
         if config.validate_cfg:
             try:
                 check_function(func)
@@ -154,54 +173,70 @@ def optimize_function(
         stats.merge(run_stats)
         return run_stats.jumps_replaced > 0
 
-    # --- prologue ------------------------------------------------------------
-    step("branch_chaining", lambda: branch_chaining(func))
-    step("dead_code", lambda: eliminate_dead_code(func))
-    step("reorder_blocks", lambda: reorder_blocks(func))
-    step("dead_code", lambda: eliminate_dead_code(func))
-    step("replication", replicate)
-    step("dead_code", lambda: eliminate_dead_code(func))
+    with (
+        tracer.span(
+            "opt.function", function=func.name, replication=config.replication
+        )
+        if tracer is not None
+        else NULL_SPAN
+    ) as function_span:
+        # --- prologue --------------------------------------------------------
+        step("branch_chaining", lambda: branch_chaining(func))
+        step("dead_code", lambda: eliminate_dead_code(func))
+        step("reorder_blocks", lambda: reorder_blocks(func))
+        step("dead_code", lambda: eliminate_dead_code(func))
+        step("replication", replicate)
+        step("dead_code", lambda: eliminate_dead_code(func))
 
-    # --- instruction selection & register assignment --------------------------
-    step("const_fold", lambda: fold_constants(func))
-    step("legalize", lambda: legalize(func, target))
-    if step("combine", lambda: combine(func, target)):
+        # --- instruction selection & register assignment ----------------------
+        step("const_fold", lambda: fold_constants(func))
         step("legalize", lambda: legalize(func, target))
-    step("promote_locals", lambda: promote_locals(func))
-    step("legalize", lambda: legalize(func, target))
-    step("combine", lambda: combine(func, target))
+        if step("combine", lambda: combine(func, target)):
+            step("legalize", lambda: legalize(func, target))
+        step("promote_locals", lambda: promote_locals(func))
+        step("legalize", lambda: legalize(func, target))
+        step("combine", lambda: combine(func, target))
 
-    # --- the do-while optimization loop ---------------------------------------
-    for _ in range(config.max_iterations):
-        changed = False
-        changed |= step("local_cse", lambda: local_cse(func, target))
-        changed |= step("copy_prop", lambda: propagate_copies(func))
-        changed |= step("const_fold", lambda: fold_constants(func))
-        changed |= step("legalize", lambda: legalize(func, target))
-        changed |= step("dead_vars", lambda: eliminate_dead_variables(func))
-        changed |= step("code_motion", lambda: loop_invariant_code_motion(func))
-        changed |= step("strength_reduction", lambda: strength_reduce(func))
-        changed |= step("legalize", lambda: legalize(func, target))
-        changed |= step("combine", lambda: combine(func, target))
-        changed |= step("branch_chaining", lambda: branch_chaining(func))
-        changed |= step("fold_branches", lambda: fold_branches(func))
-        changed |= step("replication", replicate)
-        changed |= step("dead_code", lambda: eliminate_dead_code(func))
-        if not changed:
-            break
+        # --- the do-while optimization loop -----------------------------------
+        iterations = 0
+        for _ in range(config.max_iterations):
+            iterations += 1
+            changed = False
+            changed |= step("local_cse", lambda: local_cse(func, target))
+            changed |= step("copy_prop", lambda: propagate_copies(func))
+            changed |= step("const_fold", lambda: fold_constants(func))
+            changed |= step("legalize", lambda: legalize(func, target))
+            changed |= step("dead_vars", lambda: eliminate_dead_variables(func))
+            changed |= step("code_motion", lambda: loop_invariant_code_motion(func))
+            changed |= step("strength_reduction", lambda: strength_reduce(func))
+            changed |= step("legalize", lambda: legalize(func, target))
+            changed |= step("combine", lambda: combine(func, target))
+            changed |= step("branch_chaining", lambda: branch_chaining(func))
+            changed |= step("fold_branches", lambda: fold_branches(func))
+            changed |= step("replication", replicate)
+            changed |= step("dead_code", lambda: eliminate_dead_code(func))
+            if not changed:
+                break
 
-    # --- epilogue --------------------------------------------------------------
-    if config.final_replication and config.replication == "jumps":
-        if step("replication_final", lambda: replicate(allow_irreducible=True)):
-            step("dead_code", lambda: eliminate_dead_code(func))
-            step("dead_vars", lambda: eliminate_dead_variables(func))
+        # --- epilogue ----------------------------------------------------------
+        if config.final_replication and config.replication == "jumps":
+            if step("replication_final", lambda: replicate(allow_irreducible=True)):
+                step("dead_code", lambda: eliminate_dead_code(func))
+                step("dead_vars", lambda: eliminate_dead_variables(func))
 
-    step("regalloc", lambda: color_registers(func, target))
-    step("legalize", lambda: legalize(func, target))
-    step("dead_code", lambda: eliminate_dead_code(func))
-    if target.has_delay_slots and config.fill_delay_slots:
-        step("delay_slots", lambda: fill_delay_slots(func))
-    compute_flow(func)
+        step("regalloc", lambda: color_registers(func, target))
+        step("legalize", lambda: legalize(func, target))
+        step("dead_code", lambda: eliminate_dead_code(func))
+        if target.has_delay_slots and config.fill_delay_slots:
+            step("delay_slots", lambda: fill_delay_slots(func))
+        compute_flow(func)
+        function_span.set(
+            iterations=iterations,
+            jumps_replaced=stats.jumps_replaced,
+            rtls_replicated=stats.rtls_replicated,
+        )
+    if obs is not None:
+        obs.metrics.observe("opt.loop_iterations", iterations)
     return stats
 
 

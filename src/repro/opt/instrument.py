@@ -1,112 +1,27 @@
-"""Per-pass instrumentation for the Figure-3 optimizer driver.
+"""Per-pass instrumentation — compatibility shim over :mod:`repro.obs`.
 
-When a :class:`PassInstrumentation` is handed to
-:func:`repro.opt.driver.optimize_function`, every pass invocation is
-timed and bracketed by an RTL / unconditional-jump census, yielding one
-:class:`PassRecord` per invocation.  Records aggregate by pass name so a
-whole-program (or whole-matrix) run can report where the optimizer spends
-its time and which passes actually move the paper's headline numbers.
+PR 1 introduced :class:`PassInstrumentation` here; the storage and
+aggregation now live in :mod:`repro.obs.passes` (the unified
+observability subsystem), and this module re-exports them so existing
+call sites and pickled records keep working unchanged:
 
-Everything here is plain data (dataclasses of ints/floats/strings) so the
-records travel unharmed through ``pickle`` — the parallel execution layer
-ships them back from worker processes inside result envelopes.
+* :class:`PassRecord` — one timed pass invocation with its RTL /
+  unconditional-jump census delta;
+* :class:`PassInstrumentation` — a :class:`repro.obs.passes.PassTimeline`
+  under its historical name;
+* :func:`rtl_count` / :func:`jump_count` — the census helpers.
+
+New code should prefer the ambient observer (``repro.obs.active()``)
+which additionally records spans and metrics; the optimizer driver
+feeds both when both are present.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
-
-from ..cfg.block import Function
-from ..rtl.insn import Jump
+from ..obs.passes import PassRecord, PassTimeline, jump_count, rtl_count
 
 __all__ = ["PassRecord", "PassInstrumentation", "rtl_count", "jump_count"]
 
 
-def rtl_count(func: Function) -> int:
-    """Number of RTLs currently in ``func``."""
-    return sum(len(block.insns) for block in func.blocks)
-
-
-def jump_count(func: Function) -> int:
-    """Number of unconditional jumps currently in ``func``."""
-    return sum(
-        1 for block in func.blocks for insn in block.insns if isinstance(insn, Jump)
-    )
-
-
-@dataclass
-class PassRecord:
-    """One pass invocation: wall time and what it did to the code."""
-
-    name: str
-    seconds: float
-    #: RTL count after minus before (negative = the pass shrank the code).
-    rtl_delta: int
-    #: Unconditional jumps removed (before minus after; negative = added).
-    jumps_removed: int
-    #: Whether the pass reported a change (where it reports one).
-    changed: bool
-
-
-@dataclass
-class PassInstrumentation:
-    """Accumulates :class:`PassRecord` entries across passes and functions."""
-
-    records: List[PassRecord] = field(default_factory=list)
-
-    def record(
-        self,
-        name: str,
-        seconds: float,
-        rtl_delta: int,
-        jumps_removed: int,
-        changed: bool,
-    ) -> None:
-        self.records.append(
-            PassRecord(name, seconds, rtl_delta, jumps_removed, changed)
-        )
-
-    def merge(self, other: "PassInstrumentation") -> None:
-        self.records.extend(other.records)
-
-    @property
-    def total_seconds(self) -> float:
-        return sum(r.seconds for r in self.records)
-
-    def aggregate(self) -> Dict[str, Dict[str, float]]:
-        """Aggregate records by pass name, in first-seen order.
-
-        Each value carries ``calls``, ``changed`` (invocations reporting a
-        change), ``seconds``, ``rtl_delta`` and ``jumps_removed`` summed
-        over all invocations of that pass.
-        """
-        result: Dict[str, Dict[str, float]] = {}
-        for rec in self.records:
-            agg = result.setdefault(
-                rec.name,
-                {
-                    "calls": 0,
-                    "changed": 0,
-                    "seconds": 0.0,
-                    "rtl_delta": 0,
-                    "jumps_removed": 0,
-                },
-            )
-            agg["calls"] += 1
-            agg["changed"] += 1 if rec.changed else 0
-            agg["seconds"] += rec.seconds
-            agg["rtl_delta"] += rec.rtl_delta
-            agg["jumps_removed"] += rec.jumps_removed
-        return result
-
-    def as_dicts(self) -> List[dict]:
-        """The raw records as plain dictionaries (JSON/pickle friendly)."""
-        return [asdict(rec) for rec in self.records]
-
-    @classmethod
-    def from_dicts(cls, rows: Optional[List[dict]]) -> "PassInstrumentation":
-        inst = cls()
-        for row in rows or []:
-            inst.records.append(PassRecord(**row))
-        return inst
+class PassInstrumentation(PassTimeline):
+    """Historical name for :class:`repro.obs.passes.PassTimeline`."""

@@ -9,7 +9,7 @@ installed — they produce plain text.
 
 from __future__ import annotations
 
-from typing import List, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
 from .cfg.block import BasicBlock, Function
 from .cfg.dominators import compute_dominators
@@ -52,14 +52,26 @@ def _edges(func: Function) -> List[Tuple[BasicBlock, BasicBlock, str]]:
     return edges
 
 
-def to_dot(func: Function, max_insns_per_block: int = 12) -> str:
-    """Render ``func`` as Graphviz DOT text."""
+def to_dot(
+    func: Function,
+    max_insns_per_block: int = 12,
+    replicated: Optional[Iterable[str]] = None,
+) -> str:
+    """Render ``func`` as Graphviz DOT text.
+
+    ``replicated`` names blocks created by code replication (e.g. from
+    :meth:`repro.obs.decisions.DecisionLog.replicated_labels` for a
+    traced run); they are filled light blue so the replicated tails
+    stand out from the original CFG.  Loop headers stay light yellow;
+    a replicated loop header keeps the replication color.
+    """
     info = find_loops(func)
     back_edges: Set[Tuple[int, int]] = set()
     for loop in info.loops:
         for tail, header in loop.back_edges:
             back_edges.add((id(tail), id(header)))
     headers = {id(loop.header) for loop in info.loops}
+    replicated_labels = set(replicated) if replicated is not None else set()
 
     lines = [f'digraph "{func.name}" {{']
     lines.append("  node [shape=record, fontname=monospace, fontsize=9];")
@@ -69,7 +81,12 @@ def to_dot(func: Function, max_insns_per_block: int = 12) -> str:
         if len(block.insns) > max_insns_per_block:
             shown.append(f"... +{len(block.insns) - max_insns_per_block} more")
         body = "\\l".join(_escape(t) for t in shown)
-        style = ', style=filled, fillcolor="lightyellow"' if id(block) in headers else ""
+        if block.label in replicated_labels:
+            style = ', style=filled, fillcolor="lightblue"'
+        elif id(block) in headers:
+            style = ', style=filled, fillcolor="lightyellow"'
+        else:
+            style = ""
         lines.append(
             f'  "{block.label}" [label="{{{_escape(block.label)}|{body}\\l}}"{style}];'
         )

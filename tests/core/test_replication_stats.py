@@ -1,0 +1,56 @@
+"""ReplicationStats merge: every field must participate.
+
+The regression these tests pin down: ``optimize_program`` merges one
+``ReplicationStats`` per function into a program-wide total.  A field
+added to the dataclass but forgotten by ``merge`` would silently report
+zero across the suite, so the tests iterate ``dataclasses.fields``
+instead of naming fields — adding a field automatically extends them.
+"""
+
+import dataclasses
+
+from repro.core.replication import ReplicationStats
+
+
+class TestMergeCoversEveryField:
+    def test_every_field_is_an_int_counter_with_zero_default(self):
+        for spec in dataclasses.fields(ReplicationStats):
+            assert spec.type in ("int", int), f"{spec.name} must be a counter"
+            assert spec.default == 0, f"{spec.name} must default to zero"
+
+    def test_merge_adds_every_field(self):
+        ones = ReplicationStats(
+            **{spec.name: 1 for spec in dataclasses.fields(ReplicationStats)}
+        )
+        total = ReplicationStats(
+            **{spec.name: 1 for spec in dataclasses.fields(ReplicationStats)}
+        )
+        total.merge(ones)
+        for spec in dataclasses.fields(ReplicationStats):
+            assert getattr(total, spec.name) == 2, (
+                f"merge() dropped field {spec.name!r}"
+            )
+
+    def test_merge_with_distinct_values_per_field(self):
+        field_names = [spec.name for spec in dataclasses.fields(ReplicationStats)]
+        a = ReplicationStats(**{n: i + 1 for i, n in enumerate(field_names)})
+        b = ReplicationStats(**{n: 10 * (i + 1) for i, n in enumerate(field_names)})
+        a.merge(b)
+        for i, name in enumerate(field_names):
+            assert getattr(a, name) == 11 * (i + 1)
+
+    def test_merge_leaves_other_untouched(self):
+        a = ReplicationStats(jumps_replaced=1)
+        b = ReplicationStats(jumps_replaced=2)
+        a.merge(b)
+        assert b.jumps_replaced == 2
+
+    def test_as_dict_covers_every_field(self):
+        stats = ReplicationStats()
+        assert set(stats.as_dict()) == {
+            spec.name for spec in dataclasses.fields(ReplicationStats)
+        }
+
+    def test_repr_stays_informative(self):
+        text = repr(ReplicationStats(jumps_replaced=3, rtls_replicated=9))
+        assert "replaced=3" in text and "rtls=9" in text

@@ -1,0 +1,154 @@
+"""Digest aggregation: span trees and decision summaries."""
+
+from repro.obs.digest import aggregate_spans, decision_digest, split_events
+
+
+def _span(name, span_id, parent_id=None, duration=1.0):
+    return {
+        "event": "span",
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start": 0.0,
+        "duration": duration,
+    }
+
+
+class TestSplit:
+    def test_split_partitions_and_merges_metrics(self):
+        events = [
+            {"event": "meta", "schema": 1},
+            _span("a", 0),
+            {"event": "replication.decision", "outcome": "accepted"},
+            {"event": "metrics", "data": {"counters": {"n": 1}}},
+            {"event": "metrics", "data": {"counters": {"n": 2}}},
+        ]
+        spans, decisions, metrics = split_events(events)
+        assert len(spans) == 1
+        assert len(decisions) == 1
+        assert metrics["counters"]["n"] == 3
+
+
+class TestAggregateSpans:
+    def test_same_name_same_parent_folds_into_one_node(self):
+        spans = [
+            _span("root", 0, duration=10.0),
+            _span("child", 1, parent_id=0, duration=2.0),
+            _span("child", 2, parent_id=0, duration=3.0),
+        ]
+        (root,) = aggregate_spans(spans)
+        assert root["calls"] == 1 and root["total"] == 10.0
+        (child,) = root["children"]
+        assert child["calls"] == 2 and child["total"] == 5.0
+        assert root["self"] == 5.0
+
+    def test_same_name_under_different_parents_stays_separate(self):
+        spans = [
+            _span("a", 0, duration=1.0),
+            _span("b", 1, duration=1.0),
+            _span("shared", 2, parent_id=0, duration=0.5),
+            _span("shared", 3, parent_id=1, duration=0.25),
+        ]
+        roots = aggregate_spans(spans)
+        assert len(roots) == 2
+        shared_totals = sorted(r["children"][0]["total"] for r in roots)
+        assert shared_totals == [0.25, 0.5]
+
+    def test_roots_and_children_sorted_heaviest_first(self):
+        spans = [
+            _span("light", 0, duration=1.0),
+            _span("heavy", 1, duration=9.0),
+            _span("c1", 2, parent_id=1, duration=1.0),
+            _span("c2", 3, parent_id=1, duration=4.0),
+        ]
+        roots = aggregate_spans(spans)
+        assert [r["name"] for r in roots] == ["heavy", "light"]
+        assert [c["name"] for c in roots[0]["children"]] == ["c2", "c1"]
+
+    def test_multi_root_repeats_fold_together(self):
+        # Two separate cells produce the same root name (e.g. exec.cell
+        # merged from two workers): they share one aggregate node.
+        spans = [
+            _span("cell", 0, duration=1.0),
+            _span("cell", 1, duration=2.0),
+        ]
+        (root,) = aggregate_spans(spans)
+        assert root["calls"] == 2 and root["total"] == 3.0
+
+    def test_self_never_negative(self):
+        # Children can overlap/outlast the parent by clock jitter.
+        spans = [
+            _span("root", 0, duration=1.0),
+            _span("child", 1, parent_id=0, duration=2.0),
+        ]
+        (root,) = aggregate_spans(spans)
+        assert root["self"] == 0.0
+
+    def test_empty_input(self):
+        assert aggregate_spans([]) == []
+
+
+def _decision(**overrides):
+    base = {
+        "event": "replication.decision",
+        "function": "f",
+        "block": "B1",
+        "target": "L1",
+        "mode": "jumps",
+        "policy": "shortest",
+        "outcome": "accepted",
+        "reason": "",
+        "sequence_kind": "fallthrough",
+        "sequence_blocks": 1,
+        "sequence_rtls": 3,
+        "attempts": 1,
+        "rollbacks": 0,
+        "copies": ["L1000"],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestDecisionDigest:
+    def test_empty(self):
+        digest = decision_digest([])
+        assert digest["total"] == 0
+        assert digest["functions"] == []
+
+    def test_outcomes_reasons_and_bill(self):
+        decisions = [
+            _decision(),
+            _decision(function="g", sequence_rtls=5, copies=["L1", "L2"]),
+            _decision(outcome="rejected", reason="max_rtls", copies=[]),
+            _decision(outcome="kept", reason="self_loop", copies=[]),
+        ]
+        digest = decision_digest(decisions)
+        assert digest["total"] == 4
+        assert digest["outcomes"] == {"accepted": 2, "rejected": 1, "kept": 1}
+        assert digest["reasons"] == {"max_rtls": 1, "self_loop": 1}
+        assert digest["rtls_replicated"] == 8
+        assert digest["blocks_copied"] == 3
+
+    def test_functions_ranked_by_rtls(self):
+        decisions = [
+            _decision(function="small", sequence_rtls=1),
+            _decision(function="big", sequence_rtls=9),
+        ]
+        digest = decision_digest(decisions)
+        assert [row["function"] for row in digest["functions"]] == ["small", "big"][
+            ::-1
+        ]
+
+    def test_per_policy_outcomes(self):
+        decisions = [
+            _decision(policy="shortest"),
+            _decision(policy="returns", outcome="rejected", reason="max_rtls"),
+        ]
+        digest = decision_digest(decisions)
+        assert digest["policies"]["shortest"] == {"accepted": 1}
+        assert digest["policies"]["returns"] == {"rejected": 1}
+
+    def test_rollbacks_counted_per_function(self):
+        decisions = [_decision(rollbacks=2), _decision(rollbacks=1)]
+        digest = decision_digest(decisions)
+        assert digest["functions"][0]["rollbacks"] == 3

@@ -1,0 +1,72 @@
+"""JSONL sink: writing, tolerant reading, environment activation."""
+
+import io
+
+from repro.obs.sink import (
+    TRACE_ENV_VAR,
+    TRACE_SCHEMA_VERSION,
+    read_events,
+    trace_path_from_env,
+    write_events,
+)
+
+
+class TestWrite:
+    def test_write_to_path_and_read_back(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        count = write_events(path, [{"event": "span", "name": "x"}], label="L")
+        assert count == 1
+        events, problems = read_events(path)
+        assert problems == []
+        assert events[0] == {
+            "event": "meta",
+            "schema": TRACE_SCHEMA_VERSION,
+            "label": "L",
+        }
+        assert events[1]["name"] == "x"
+
+    def test_write_to_file_object(self):
+        buffer = io.StringIO()
+        write_events(buffer, [{"event": "metrics", "data": {}}])
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 2
+        assert all(line.startswith("{") for line in lines)
+
+    def test_one_event_per_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_events(path, [{"event": "span"}, {"event": "span"}])
+        assert len(path.read_text().splitlines()) == 3  # meta + 2
+
+
+class TestRead:
+    def test_malformed_lines_reported_not_fatal(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"event":"meta","schema":1,"label":""}\n'
+            "this is not json\n"
+            '{"no_event_key":true}\n'
+            '{"event":"span","name":"ok"}\n'
+            '{"event":"span","name":"trunc'  # truncated final line
+        )
+        events, problems = read_events(path)
+        assert [e["event"] for e in events] == ["meta", "span"]
+        assert len(problems) == 3
+        assert any("line 2" in p for p in problems)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('\n\n{"event":"span"}\n\n')
+        events, problems = read_events(path)
+        assert len(events) == 1 and problems == []
+
+
+class TestEnv:
+    def test_env_var_names_destination(self, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV_VAR, "/tmp/x.jsonl")
+        assert trace_path_from_env() == "/tmp/x.jsonl"
+
+    def test_unset_or_empty_is_none(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+        assert trace_path_from_env() is None
+        monkeypatch.setenv(TRACE_ENV_VAR, "")
+        assert trace_path_from_env() is None

@@ -1,0 +1,122 @@
+"""Span tracer: nesting, timing, export, merge, pickle safety."""
+
+import pickle
+
+from repro.obs.tracer import NULL_SPAN, Span, Tracer
+
+
+class TestSpans:
+    def test_basic_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            pass
+        assert len(tracer.spans) == 1
+        assert tracer.spans[0] is span
+        assert span.duration >= 0.0
+        assert span.parent_id is None
+
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                with tracer.span("leaf") as leaf:
+                    pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert leaf.parent_id == inner.span_id
+        assert sibling.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_attrs_via_constructor_and_set(self):
+        tracer = Tracer()
+        with tracer.span("work", function="main") as span:
+            span.set(changed=True, delta=-3)
+        assert span.attrs == {"function": "main", "changed": True, "delta": -3}
+
+    def test_set_on_context_manager_wrapper(self):
+        tracer = Tracer()
+        cm = tracer.span("work")
+        with cm:
+            cm.set(k=1)
+        assert tracer.spans[0].attrs == {"k": 1}
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert tracer._stack == []
+        assert all(s.duration >= 0.0 for s in tracer.spans)
+
+    def test_spans_are_ordered_and_ids_unique(self):
+        tracer = Tracer()
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        ids = [s.span_id for s in tracer.spans]
+        assert len(set(ids)) == 5
+        starts = [s.start for s in tracer.spans]
+        assert starts == sorted(starts)
+
+
+class TestDisabled:
+    def test_disabled_tracer_hands_out_null_span(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything") is NULL_SPAN
+        assert tracer.spans == []
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            assert span.set(a=1) is NULL_SPAN
+
+
+class TestExport:
+    def test_as_dicts_round_trips_through_pickle_and_merge(self):
+        tracer = Tracer()
+        with tracer.span("outer", function="f"):
+            with tracer.span("inner") as inner:
+                inner.set(n=2)
+        rows = pickle.loads(pickle.dumps(tracer.as_dicts()))
+
+        parent = Tracer()
+        parent.merge_dicts(rows)
+        assert [s.name for s in parent.spans] == ["outer", "inner"]
+        outer, inner2 = parent.spans
+        assert inner2.parent_id == outer.span_id
+        assert inner2.attrs == {"n": 2}
+
+    def test_merge_rebases_ids_against_local_spans(self):
+        parent = Tracer()
+        with parent.span("local"):
+            pass
+        child = Tracer()
+        with child.span("remote"):
+            pass
+        parent.merge_dicts(child.as_dicts())
+        ids = [s.span_id for s in parent.spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_merge_attaches_under_open_span(self):
+        child = Tracer()
+        with child.span("remote.work"):
+            pass
+        parent = Tracer()
+        with parent.span("exec.cell") as cell:
+            parent.merge_dicts(child.as_dicts())
+        merged = [s for s in parent.spans if s.name == "remote.work"]
+        assert merged and merged[0].parent_id == cell.span_id
+
+    def test_merge_empty_is_noop(self):
+        tracer = Tracer()
+        tracer.merge_dicts(None)
+        tracer.merge_dicts([])
+        assert tracer.spans == []
+
+    def test_span_as_dict_is_json_safe(self):
+        span = Span(name="x", span_id=0, parent_id=None, start=0.0)
+        d = span.as_dict()
+        assert d["name"] == "x" and d["attrs"] == {}
