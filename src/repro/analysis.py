@@ -11,8 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .cfg.analyses import get_analyses
 from .cfg.block import Program
-from .cfg.loops import find_loops
 from .cfg.reducibility import is_reducible
 from .rtl.insn import (
     Assign,
@@ -113,7 +113,7 @@ def loop_census(program: Program) -> List[Tuple[str, str, int, bool]]:
     """(function, header label, member count, contains-jump) per loop."""
     rows = []
     for name, func in program.functions.items():
-        info = find_loops(func)
+        info = get_analyses(func).loops()
         for loop in info.loops:
             has_jump = any(block.ends_in_jump() for block in loop.blocks)
             rows.append((name, loop.header.label, len(loop.blocks), has_jump))

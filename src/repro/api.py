@@ -64,6 +64,7 @@ def compile_and_measure(
     policy: Union[str, Policy] = Policy.SHORTEST,
     max_rtls: Optional[int] = None,
     max_steps: int = 200_000_000,
+    spm_engine: Optional[str] = None,
 ) -> CompilationResult:
     """Compile, optimize, run and measure one program.
 
@@ -77,6 +78,8 @@ def compile_and_measure(
     :param trace: record the block-level trace for cache simulation.
     :param policy: JUMPS step-2 heuristic: "shortest", "returns", "loops".
     :param max_rtls: §6 bound on replication sequence length.
+    :param spm_engine: step-1 shortest-path engine ("lazy" / "dense");
+        both produce identical decisions, "dense" is the differential oracle.
     """
     if source_or_benchmark in PROGRAMS:
         bench = PROGRAMS[source_or_benchmark]
@@ -93,7 +96,10 @@ def compile_and_measure(
         policy = POLICIES[policy]
     program = compile_c(source)
     config = OptimizationConfig(
-        replication=replication, policy=policy, max_rtls=max_rtls
+        replication=replication,
+        policy=policy,
+        max_rtls=max_rtls,
+        spm_engine=spm_engine,
     )
     stats = optimize_program(program, target, config)
     measurement = measure_program(

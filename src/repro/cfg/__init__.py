@@ -1,5 +1,6 @@
 """Control-flow analysis: blocks, CFG, dominators, loops, reducibility."""
 
+from .analyses import AnalysisManager, get_analyses
 from .block import BasicBlock, Function, GlobalData, Program
 from .dominators import DominatorTree, compute_dominators, dominates
 from .graph import (
@@ -13,6 +14,8 @@ from .reducibility import is_reducible
 from .traversal import dfs_preorder, postorder, reverse_postorder
 
 __all__ = [
+    "AnalysisManager",
+    "get_analyses",
     "BasicBlock",
     "Function",
     "GlobalData",

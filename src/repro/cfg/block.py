@@ -90,6 +90,10 @@ class Function:
         self.frame: Dict[str, Tuple[int, int]] = {}
         self.frame_size = 0
         self._label_counter = itertools.count(1000)
+        #: Monotonic CFG-structure counter.  :func:`repro.cfg.graph.compute_flow`
+        #: bumps it whenever the block list or any edge actually changed;
+        #: cached analyses (see :mod:`repro.cfg.analyses`) key off it.
+        self.cfg_edition = 0
 
     # --- frame management ---------------------------------------------------
 

@@ -76,5 +76,14 @@ def compute_dominators(func: Function) -> DominatorTree:
 
 
 def dominates(func: Function, a: BasicBlock, b: BasicBlock) -> bool:
-    """Convenience one-shot dominance query."""
-    return compute_dominators(func).dominates(a, b)
+    """Convenience one-shot dominance query.
+
+    .. deprecated:: delegates to the per-function :class:`AnalysisManager`
+       (see :mod:`repro.cfg.analyses`), which caches the dominator tree
+       until the CFG actually changes.  Prefer
+       ``get_analyses(func).dominates(a, b)`` — kept for source
+       compatibility with existing callers.
+    """
+    from .analyses import get_analyses
+
+    return get_analyses(func).dominates(a, b)

@@ -70,7 +70,15 @@ def build_function(
 
 
 def compute_flow(func: Function) -> None:
-    """Recompute predecessor/successor edges of every block in ``func``."""
+    """Recompute predecessor/successor edges of every block in ``func``.
+
+    Bumps ``func.cfg_edition`` when the block list or any successor list
+    actually changed, which is what invalidates the cached analyses of
+    :mod:`repro.cfg.analyses`.  A recomputation that reproduces the
+    existing edges exactly (the common case for passes that only touch
+    straight-line code) leaves the edition — and the caches — intact.
+    """
+    old_shape = [(id(block), block.succs) for block in func.blocks]
     by_label: Dict[str, BasicBlock] = {}
     for block in func.blocks:
         by_label[block.label] = block
@@ -103,6 +111,15 @@ def compute_flow(func: Function) -> None:
         block.succs = succs
         for succ in succs:
             succ.preds.append(block)
+
+    changed = len(old_shape) != len(func.blocks) or any(
+        ident != id(block)
+        or len(old_succs) != len(block.succs)
+        or any(a is not b for a, b in zip(old_succs, block.succs))
+        for (ident, old_succs), block in zip(old_shape, func.blocks)
+    )
+    if changed:
+        func.cfg_edition += 1
 
 
 def _lookup(

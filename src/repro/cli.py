@@ -74,6 +74,13 @@ def _config_arguments(parser: argparse.ArgumentParser) -> None:
         help="bound on the replication sequence length (§6 extension)",
     )
     parser.add_argument(
+        "--spm-engine",
+        choices=["lazy", "dense"],
+        default=None,
+        help="step-1 shortest-path engine (default: lazy, or REPRO_SPM_ENGINE; "
+        "dense is the differential oracle)",
+    )
+    parser.add_argument(
         "--stdin",
         type=Path,
         default=None,
@@ -115,6 +122,7 @@ def _measure(args, replication: Optional[str] = None, trace: bool = False):
         policy=args.policy,
         max_rtls=args.max_rtls,
         trace=trace,
+        spm_engine=args.spm_engine,
     )
 
 
@@ -325,6 +333,7 @@ def cmd_bench(args) -> int:
             policy=args.policy,
             max_rtls=args.max_rtls,
             trace=args.trace,
+            spm_engine=args.spm_engine,
         )
         for target in args.targets
         for config in args.configs
@@ -565,6 +574,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="bound on the replication sequence length (§6 extension)",
+    )
+    p.add_argument(
+        "--spm-engine",
+        choices=["lazy", "dense"],
+        default=None,
+        help="step-1 shortest-path engine (default: lazy)",
     )
     p.add_argument(
         "--trace",

@@ -13,7 +13,8 @@ from .replication import (
     ReplicationStats,
     clone_function,
 )
-from .shortest_path import ShortestPathMatrix
+from .shortest_path import ShortestPathBase, ShortestPathMatrix, make_shortest_paths
+from .sssp import LazyShortestPaths
 
 __all__ = [
     "replicate_jumps",
@@ -25,7 +26,10 @@ __all__ = [
     "ReplicationMode",
     "ReplicationStats",
     "clone_function",
+    "ShortestPathBase",
     "ShortestPathMatrix",
+    "LazyShortestPaths",
+    "make_shortest_paths",
     "ProfileGuidedResult",
     "profile_guided_replication",
 ]

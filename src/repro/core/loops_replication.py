@@ -14,24 +14,31 @@ are the test of a loop adjacent to the jump are admissible.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..cfg.block import Function, Program
 from .replication import CodeReplicator, Policy, ReplicationMode, ReplicationStats
 
 __all__ = ["replicate_loop_tests", "replicate_loop_tests_in_program"]
 
 
-def replicate_loop_tests(func: Function) -> ReplicationStats:
+def replicate_loop_tests(
+    func: Function, engine: Optional[str] = None
+) -> ReplicationStats:
     """Run the LOOPS configuration on ``func`` (in place)."""
     replicator = CodeReplicator(
         mode=ReplicationMode.LOOPS,
         policy=Policy.FAVOR_LOOPS,
+        engine=engine,
     )
     return replicator.run(func)
 
 
-def replicate_loop_tests_in_program(program: Program) -> ReplicationStats:
+def replicate_loop_tests_in_program(
+    program: Program, engine: Optional[str] = None
+) -> ReplicationStats:
     """Run LOOPS over every function of ``program``; return merged stats."""
     total = ReplicationStats()
     for func in program.functions.values():
-        total.merge(replicate_loop_tests(func))
+        total.merge(replicate_loop_tests(func, engine))
     return total

@@ -32,15 +32,15 @@ import enum
 from dataclasses import asdict, dataclass, fields
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..cfg.analyses import get_analyses
 from ..cfg.block import BasicBlock, Function
 from ..cfg.graph import compute_flow
-from ..cfg.loops import Loop, LoopInfo, find_loops
-from ..cfg.reducibility import is_reducible
+from ..cfg.loops import Loop, LoopInfo
 from ..obs import active as _active_observer
 from ..obs.decisions import ReplicationDecision
 from ..obs.tracer import NULL_SPAN
 from ..rtl.insn import CondBranch, IndirectJump, Jump, Return
-from .shortest_path import ShortestPathMatrix
+from .shortest_path import ShortestPathBase, make_shortest_paths
 
 __all__ = [
     "ReplicationMode",
@@ -128,12 +128,18 @@ class CodeReplicator:
         jump_filter: Optional[
             Callable[[Function, BasicBlock, Jump], bool]
         ] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.mode = mode
         self.policy = policy
         self.max_rtls = max_rtls
         self.allow_irreducible = allow_irreducible
         self.max_replications = max_replications_per_function
+        # Which step-1 shortest-path engine to use ("lazy" / "dense");
+        # ``None`` defers to the ``REPRO_SPM_ENGINE`` environment variable
+        # and ultimately the default.  Both engines produce byte-identical
+        # replication decisions; "dense" is kept as a differential oracle.
+        self.engine = engine
         # Optional predicate deciding whether a particular jump should be
         # replaced at all — the hook used by profile-guided replication.
         self.jump_filter = jump_filter
@@ -168,7 +174,7 @@ class CodeReplicator:
                     if tracer is not None
                     else NULL_SPAN
                 ):
-                    matrix = ShortestPathMatrix(func)  # step 1
+                    matrix = make_shortest_paths(func, self.engine)  # step 1
                 # Step 2: traverse the blocks sequentially.  The matrix stays
                 # valid across replacements within one sweep: replication only
                 # adds blocks, so recorded shortest paths remain intact.
@@ -196,7 +202,7 @@ class CodeReplicator:
         func: Function,
         block: BasicBlock,
         jump: Jump,
-        matrix: ShortestPathMatrix,
+        matrix: ShortestPathBase,
         stats: ReplicationStats,
         obs=None,
         tracer=None,
@@ -252,7 +258,7 @@ class CodeReplicator:
             decide("redundant")
             return True
 
-        loops = find_loops(func)
+        loops = get_analyses(func).loops()
         with (
             tracer.span("jumps.step2.select", block=block.label)
             if tracer is not None
@@ -301,7 +307,7 @@ class CodeReplicator:
                 if tracer is not None
                 else NULL_SPAN
             ):
-                reducible = self.allow_irreducible or is_reducible(func)
+                reducible = self.allow_irreducible or get_analyses(func).reducible()
             if reducible:
                 stats.jumps_replaced += 1
                 stats.rtls_replicated += last_rtls
@@ -344,7 +350,7 @@ class CodeReplicator:
         self,
         target: BasicBlock,
         follow: Optional[BasicBlock],
-        matrix: ShortestPathMatrix,
+        matrix: ShortestPathBase,
     ) -> List[Tuple[List[BasicBlock], bool]]:
         """The (sequence, ends-by-falling-through) options, in policy order."""
         to_return = matrix.shortest_sequence_to_return(target)

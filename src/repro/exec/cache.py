@@ -69,6 +69,7 @@ class ResultCache:
             f"max_rtls={spec.max_rtls}",
             f"trace={spec.trace}",
             f"optimize={spec.optimize}",
+            f"spm_engine={spec.spm_engine}",
             f"source={source}",
         ):
             hasher.update(part.encode("utf-8"))

@@ -24,7 +24,8 @@ __all__ = ["CellSpec", "CellResult", "CACHE_SCHEMA_VERSION"]
 #: changes; old cache entries become unreachable (different keys).
 #: v2: CellSpec grew ``observe``; CellResult grew ``obs`` (the
 #: observability snapshot: spans, metrics, replication decision log).
-CACHE_SCHEMA_VERSION = 2
+#: v3: CellSpec grew ``spm_engine`` (the step-1 shortest-path engine).
+CACHE_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,11 @@ class CellSpec:
     #: cache key — a cached cell may carry a sparser snapshot than a
     #: fresh observed run would produce.
     observe: bool = False
+    #: Step-1 shortest-path engine ("lazy" / "dense"; ``None`` = default).
+    #: Decision parity makes the *result* engine-independent, but the
+    #: engines differ in timing/metrics, so the engine is part of the
+    #: cache key — a dense differential run never shadows a lazy one.
+    spm_engine: Optional[str] = None
 
     def resolve(self) -> Tuple[str, bytes]:
         """The (source text, stdin bytes) this cell actually runs."""

@@ -77,6 +77,7 @@ def execute_cell(spec: CellSpec) -> CellResult:
                     policy=POLICIES[spec.policy],
                     max_rtls=spec.max_rtls,
                     validate_cfg=spec.validate_cfg,
+                    spm_engine=spec.spm_engine,
                 )
                 instrumentation = PassInstrumentation()
                 start = perf_counter()

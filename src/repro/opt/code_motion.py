@@ -15,12 +15,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
+from ..cfg.analyses import get_analyses
 from ..cfg.block import BasicBlock, Function
 from ..cfg.graph import compute_flow
-from ..cfg.loops import Loop, find_loops
+from ..cfg.loops import Loop
 from ..rtl.expr import Expr, Mem, Reg, walk
 from ..rtl.insn import Assign, Call, Insn
-from ..cfg.dominators import compute_dominators
 from .liveness import Liveness
 
 __all__ = ["loop_invariant_code_motion", "ensure_preheader"]
@@ -116,7 +116,7 @@ def loop_invariant_code_motion(func: Function) -> bool:
         guard += 1
         if guard > 100:
             break
-        info = find_loops(func)
+        info = get_analyses(func).loops()
         progress = False
         for loop in sorted(info.loops, key=lambda l: len(l.blocks)):
             if _hoist_from_loop(func, loop):
@@ -131,7 +131,7 @@ def loop_invariant_code_motion(func: Function) -> bool:
 def _hoist_from_loop(func: Function, loop: Loop) -> bool:
     defs = _defined_regs_in_loop(loop)
     loop_writes_mem = _loop_has_stores_or_calls(loop)
-    dom = compute_dominators(func)
+    dom = get_analyses(func).dominators()
     liveness = Liveness(func)
     exits = loop.exits()
     header_live_in = liveness.block_live_in(loop.header)

@@ -135,7 +135,7 @@ def _single_def_constants(func: Function):
     target legalization materializes comparison constants into registers,
     so a purely syntactic Const/Const check would miss them.
     """
-    from ..cfg.dominators import compute_dominators
+    from ..cfg.analyses import get_analyses
 
     def_counts = {}
     for insn in func.insns():
@@ -153,7 +153,7 @@ def _single_def_constants(func: Function):
                 and def_counts.get(insn.dst) == 1
             ):
                 constants[insn.dst] = (insn.src.value, block, index)
-    return constants, compute_dominators(func)
+    return constants, get_analyses(func).dominators()
 
 
 def _resolve_constant(

@@ -83,11 +83,18 @@ class OptimizationConfig:
     fill_delay_slots: bool = True
     #: Debug: run the CFG invariant validator after every pass.
     validate_cfg: bool = False
+    #: Step-1 shortest-path engine for replication ("lazy" / "dense");
+    #: ``None`` defers to ``REPRO_SPM_ENGINE`` and the default ("lazy").
+    spm_engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.replication not in ("none", "loops", "jumps"):
             raise ValueError(
                 f"replication must be none/loops/jumps, got {self.replication!r}"
+            )
+        if self.spm_engine not in (None, "lazy", "dense"):
+            raise ValueError(
+                f"spm_engine must be lazy/dense, got {self.spm_engine!r}"
             )
 
 
@@ -96,13 +103,16 @@ def _make_replicator(config: OptimizationConfig, allow_irreducible: bool = False
         return None
     if config.replication == "loops":
         return CodeReplicator(
-            mode=ReplicationMode.LOOPS, policy=Policy.FAVOR_LOOPS
+            mode=ReplicationMode.LOOPS,
+            policy=Policy.FAVOR_LOOPS,
+            engine=config.spm_engine,
         )
     return CodeReplicator(
         mode=ReplicationMode.JUMPS,
         policy=config.policy,
         max_rtls=config.max_rtls,
         allow_irreducible=allow_irreducible,
+        engine=config.spm_engine,
     )
 
 

@@ -21,8 +21,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..cfg.analyses import get_analyses
 from ..cfg.block import Function
-from ..cfg.loops import find_loops
 from ..rtl.expr import Expr, Local, Mem, Reg, walk
 from ..rtl.insn import Assign, Compare, IndirectJump, Insn
 from ..targets.machine import Machine
@@ -84,8 +84,10 @@ def promote_locals(func: Function) -> int:
     if not eligible:
         return 0
     factory = RegFactory.virtual(func)
+    # Sorted so virtual-register numbering (and every downstream
+    # r.index tie-break) is independent of set iteration order.
     mapping: Dict[Expr, Expr] = {
-        Mem(Local(name), "L"): factory.new() for name in eligible
+        Mem(Local(name), "L"): factory.new() for name in sorted(eligible)
     }
     for insn in func.insns():
         # Uses first, then a promoted store destination becomes a register
@@ -115,7 +117,7 @@ class AllocationResult:
 
 
 def _loop_depths(func: Function) -> Dict[int, int]:
-    info = find_loops(func)
+    info = get_analyses(func).loops()
     depths: Dict[int, int] = {id(b): 0 for b in func.blocks}
     for loop in info.loops:
         for block in loop.blocks:

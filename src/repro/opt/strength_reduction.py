@@ -15,9 +15,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..cfg.analyses import get_analyses
 from ..cfg.block import BasicBlock, Function
 from ..cfg.graph import compute_flow
-from ..cfg.loops import Loop, find_loops
+from ..cfg.loops import Loop
 from ..rtl.expr import BinOp, Const, Expr, Reg, map_expr
 from ..rtl.insn import Assign, Insn
 from .code_motion import ensure_preheader
@@ -42,16 +43,18 @@ def _increment_of(insn: Insn, reg: Reg) -> Optional[int]:
 
 
 def _find_basic_ivs(
-    loop: Loop,
+    func: Function, loop: Loop
 ) -> Dict[Reg, List[Tuple[Insn, int, BasicBlock]]]:
     """Registers whose every in-loop def is ``i = i ± c`` (same ``c``).
 
     Code replication duplicates loop-closing increments, so a basic
     induction variable may legitimately have several identical update
     sites; the derived register is then advanced after each of them.
+    Blocks are scanned in layout order so the resulting dict order (and
+    hence derived-register numbering) is deterministic.
     """
     defs: Dict[Reg, List[Tuple[Insn, BasicBlock]]] = {}
-    for block in loop.blocks:
+    for block in loop.members_in_layout_order(func):
         for insn in block.insns:
             reg = insn.defined_reg()
             if reg is not None:
@@ -68,10 +71,10 @@ def _find_basic_ivs(
     return ivs
 
 
-def _multiplications_of(loop: Loop, iv: Reg) -> List[Expr]:
-    """Distinct ``iv * k`` expressions used inside the loop."""
+def _multiplications_of(func: Function, loop: Loop, iv: Reg) -> List[Expr]:
+    """Distinct ``iv * k`` expressions used inside the loop, layout order."""
     found: Dict[Expr, None] = {}
-    for block in loop.blocks:
+    for block in loop.members_in_layout_order(func):
         for insn in block.insns:
             for expr in insn.used_exprs():
                 for node in _walk(expr):
@@ -105,7 +108,7 @@ def strength_reduce(func: Function) -> bool:
         guard += 1
         if guard > 100:
             break
-        info = find_loops(func)
+        info = get_analyses(func).loops()
         progress = False
         for loop in sorted(info.loops, key=lambda l: len(l.blocks)):
             if _reduce_loop(func, loop, factory):
@@ -118,12 +121,12 @@ def strength_reduce(func: Function) -> bool:
 
 
 def _reduce_loop(func: Function, loop: Loop, factory: RegFactory) -> bool:
-    ivs = _find_basic_ivs(loop)
+    ivs = _find_basic_ivs(func, loop)
     if not ivs:
         return False
     plans = []
     for iv, sites in ivs.items():
-        for product in _multiplications_of(loop, iv):
+        for product in _multiplications_of(func, loop, iv):
             plans.append((iv, sites, product))
     if not plans:
         return False

@@ -11,9 +11,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Set, Tuple
 
+from .cfg.analyses import get_analyses
 from .cfg.block import BasicBlock, Function
-from .cfg.dominators import compute_dominators
-from .cfg.loops import find_loops
 from .rtl.insn import CondBranch, IndirectJump, Jump, Return
 from .rtl.printer import format_insn
 
@@ -65,7 +64,7 @@ def to_dot(
     stand out from the original CFG.  Loop headers stay light yellow;
     a replicated loop header keeps the replication color.
     """
-    info = find_loops(func)
+    info = get_analyses(func).loops()
     back_edges: Set[Tuple[int, int]] = set()
     for loop in info.loops:
         for tail, header in loop.back_edges:
@@ -108,8 +107,9 @@ def to_dot(
 
 def cfg_summary(func: Function) -> str:
     """A terminal-friendly adjacency and loop overview."""
-    info = find_loops(func)
-    dom = compute_dominators(func)
+    analyses = get_analyses(func)
+    info = analyses.loops()
+    dom = analyses.dominators()
     lines = [f"function {func.name}: {len(func.blocks)} blocks, "
              f"{func.insn_count()} insns, {func.jump_count()} jumps, "
              f"{len(info.loops)} loops"]
