@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.cache import PAPER_CACHE_SIZES, CacheConfig, simulate_cache
+from repro.cache import PAPER_CACHE_SIZES, CacheConfig, simulate_multi_cache
 from repro.report import format_table, mean
 
 from conftest import TARGETS, selected_programs
@@ -30,17 +30,25 @@ SCALED_CACHE_SIZES = (128, 256, 512, 1024)
 _CTX = (True, False)
 
 
-def _cache_stats(traced, target, config, size, ctx):
-    ratios = []
-    costs = []
+def _sweep(traced, target, config, sizes, ctx):
+    """Per size: ([miss ratios...], [fetch costs...]) across the suite.
+
+    One single-pass multi-configuration walk per program covers every
+    size at once (engine parity with the reference simulator is asserted
+    in ``tests/cache/test_engine_parity.py``).
+    """
+    ratios = {size: [] for size in sizes}
+    costs = {size: [] for size in sizes}
+    configs = [CacheConfig(size=size) for size in sizes]
     for name in selected_programs():
         m = traced[(target, config, name)]
-        result = simulate_cache(
-            m.trace, m.block_fetches, CacheConfig(size=size), context_switches=ctx
+        results = simulate_multi_cache(
+            m.trace, m.block_fetches, configs, context_switches=ctx
         )
-        ratios.append(result.miss_ratio)
-        costs.append(result.fetch_cost)
-    return ratios, costs
+        for size, result in zip(sizes, results):
+            ratios[size].append(result.miss_ratio)
+            costs[size].append(result.fetch_cost)
+    return {size: (ratios[size], costs[size]) for size in sizes}
 
 
 def _print_tables(table, sizes, title):
@@ -84,11 +92,12 @@ def test_table6_cache_behaviour(benchmark, traced_measurements):
         table: Dict[tuple, tuple] = {}
         for target in TARGETS:
             for ctx in _CTX:
-                for size in all_sizes:
-                    for config in ("none", "loops", "jumps"):
-                        table[(target, ctx, size, config)] = _cache_stats(
-                            traced_measurements, target, config, size, ctx
-                        )
+                for config in ("none", "loops", "jumps"):
+                    sweep = _sweep(
+                        traced_measurements, target, config, all_sizes, ctx
+                    )
+                    for size, stats in sweep.items():
+                        table[(target, ctx, size, config)] = stats
         return table
 
     table = benchmark.pedantic(build, rounds=1, iterations=1)

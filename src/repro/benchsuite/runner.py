@@ -11,6 +11,13 @@ harnesses reuse the same runs — and an optional persistent
 (program × target × configuration) cross-product out over a
 :class:`~repro.exec.runner.ParallelRunner` and seeds the in-process memo,
 so the per-cell accessors below become cache hits afterwards.
+
+Traced measurements (``trace=True``, the Table-6 input) carry an RLE
+:class:`~repro.ease.trace.CompressedTrace` — it iterates as raw global
+block ids for compatibility, and the single-pass multi-configuration
+cache engine (:func:`repro.cache.simulate_multi_cache`) consumes its
+compressed records directly, so memoized envelopes stay small and the
+four-size sweep fast-forwards steady-state loops.
 """
 
 from __future__ import annotations

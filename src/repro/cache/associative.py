@@ -66,6 +66,7 @@ def simulate_associative_cache(
         block_id: [addr >> line_shift for addr in fetches]
         for block_id, fetches in block_fetches.items()
     }
+    no_fetches: List[int] = []
 
     # Per set: a most-recent-first list of resident line numbers.
     sets: List[List[int]] = [[] for _ in range(config.sets)]
@@ -79,7 +80,7 @@ def simulate_associative_cache(
     next_flush = interval if context_switches else None
 
     for block_id in trace:
-        for line in block_lines[block_id]:
+        for line in block_lines.get(block_id, no_fetches):
             accesses += 1
             bucket = sets[line & index_mask]
             try:

@@ -15,12 +15,37 @@ addresses produced by :func:`repro.ease.measure.measure_program`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-__all__ = ["CacheConfig", "CacheResult", "simulate_cache", "PAPER_CACHE_SIZES"]
+__all__ = [
+    "CacheConfig",
+    "CacheResult",
+    "simulate_cache",
+    "PAPER_CACHE_SIZES",
+    "CACHESIM_ENGINES",
+    "resolve_cachesim_engine",
+]
 
 PAPER_CACHE_SIZES = (1024, 2048, 4096, 8192)
+
+#: Known Table-6 simulation engines: ``reference`` replays the raw trace
+#: once per configuration (the differential oracle); ``multi`` walks the
+#: (compressed) trace once with all configurations side by side and
+#: fast-forwards steady-state loops (see :mod:`repro.cache.multi`).
+CACHESIM_ENGINES = ("reference", "multi")
+
+
+def resolve_cachesim_engine(engine: Optional[str] = None) -> str:
+    """Pick the Table-6 engine: argument > ``REPRO_CACHESIM_ENGINE`` > multi."""
+    chosen = engine or os.environ.get("REPRO_CACHESIM_ENGINE") or "multi"
+    if chosen not in CACHESIM_ENGINES:
+        raise ValueError(
+            f"unknown cache-simulation engine {chosen!r}; "
+            f"expected one of {CACHESIM_ENGINES}"
+        )
+    return chosen
 
 
 @dataclass(frozen=True)
@@ -92,6 +117,9 @@ def simulate_cache(
         block_id: [addr >> line_shift for addr in fetches]
         for block_id, fetches in block_fetches.items()
     }
+    # A traced block with no fetch addresses (an empty basic block, or a
+    # trace from another layout) contributes zero accesses.
+    no_fetches: List[int] = []
 
     cache: List[int] = [-1] * config.lines
     accesses = 0
@@ -106,7 +134,7 @@ def simulate_cache(
     next_flush = interval if context_switches else None
 
     for block_id in trace:
-        for line in block_lines[block_id]:
+        for line in block_lines.get(block_id, no_fetches):
             accesses += 1
             slot = line & index_mask
             if cache[slot] == line:
@@ -126,8 +154,24 @@ def simulate_paper_configurations(
     trace: Sequence[int],
     block_fetches: Dict[int, List[int]],
     context_switches: bool = False,
+    engine: Optional[str] = None,
 ) -> Dict[int, CacheResult]:
-    """Run the four cache sizes of Table 6; keyed by size in bytes."""
+    """Run the four cache sizes of Table 6; keyed by size in bytes.
+
+    ``engine`` selects the simulator: ``"multi"`` (the default) walks
+    the trace once with all four cache states side by side and
+    fast-forwards steady-state loops; ``"reference"`` replays the trace
+    per size through :func:`simulate_cache`.  Both produce identical
+    :class:`CacheResult`\\ s (property-tested and CI-gated parity).
+    """
+    if resolve_cachesim_engine(engine) == "multi":
+        from .multi import simulate_multi_cache
+
+        configs = [CacheConfig(size=size) for size in PAPER_CACHE_SIZES]
+        results = simulate_multi_cache(
+            trace, block_fetches, configs, context_switches
+        )
+        return dict(zip(PAPER_CACHE_SIZES, results))
     return {
         size: simulate_cache(
             trace, block_fetches, CacheConfig(size=size), context_switches

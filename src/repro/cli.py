@@ -196,21 +196,34 @@ def cmd_compare(args) -> int:
 
 def cmd_cache(args) -> int:
     """Run the instruction-cache sweep."""
+    from .cache import resolve_cachesim_engine, simulate_multi_cache
+
     result = _measure(args, trace=True)
     m = result.measurement
+    engine = resolve_cachesim_engine(args.cachesim_engine)
+    configs = [CacheConfig(size=size) for size in args.sizes]
+    if engine == "multi":
+        plain = simulate_multi_cache(m.trace, m.block_fetches, configs, False)
+        flushed = simulate_multi_cache(m.trace, m.block_fetches, configs, True)
+    else:
+        plain = [
+            simulate_cache(m.trace, m.block_fetches, config, False)
+            for config in configs
+        ]
+        flushed = [
+            simulate_cache(m.trace, m.block_fetches, config, True)
+            for config in configs
+        ]
     rows = []
-    for size in args.sizes:
-        config = CacheConfig(size=size)
-        plain = simulate_cache(m.trace, m.block_fetches, config, False)
-        flushed = simulate_cache(m.trace, m.block_fetches, config, True)
+    for size, cold, warm in zip(args.sizes, plain, flushed):
         rows.append(
             [
                 f"{size}B" if size < 1024 else f"{size // 1024}KB",
-                plain.accesses,
-                f"{plain.miss_ratio * 100:.3f}%",
-                plain.fetch_cost,
-                f"{flushed.miss_ratio * 100:.3f}%",
-                flushed.fetch_cost,
+                cold.accesses,
+                f"{cold.miss_ratio * 100:.3f}%",
+                cold.fetch_cost,
+                f"{warm.miss_ratio * 100:.3f}%",
+                warm.fetch_cost,
             ]
         )
     print(
@@ -506,6 +519,13 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=[128, 256, 512, 1024, 2048, 4096, 8192],
         help="cache sizes in bytes",
+    )
+    p.add_argument(
+        "--cachesim-engine",
+        choices=["reference", "multi"],
+        default=None,
+        help="cache simulator (default: multi, or REPRO_CACHESIM_ENGINE; "
+        "reference replays the trace once per size — the differential oracle)",
     )
     p.set_defaults(func=cmd_cache)
 

@@ -25,7 +25,7 @@ into instruction fetch addresses.
 from __future__ import annotations
 
 import struct
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..cfg.block import BasicBlock, Function, Program
 from ..rtl.arith import eval_binop, eval_unop, wrap32
@@ -42,6 +42,7 @@ from ..rtl.insn import (
     Return,
 )
 from .runtime import ProgramExit, call_builtin, is_builtin
+from .trace import TraceSink, make_sink
 
 __all__ = ["Interpreter", "MachineState", "ExecutionResult", "StepLimitExceeded"]
 
@@ -83,16 +84,49 @@ class ExecutionResult:
         self.exit_code = 0
         # (function name, block index) -> execution count.
         self.block_counts: Dict[Tuple[str, int], int] = {}
-        # Optional block-level trace of global block ids.
-        self.trace: Optional[List[int]] = None
+        # Optional block-level trace: a plain list of global block ids
+        # (``RawListSink``) or a ``CompressedTrace`` (the default sink).
+        self.trace = None
         self.calls_executed = 0
+        # Dense per-function count arrays the interpreter increments on
+        # the hot path (one list index instead of a tuple-keyed dict
+        # update per executed block); folded into ``block_counts`` and
+        # ``_func_totals`` when the run ends.
+        self._func_counts: Dict[str, List[int]] = {}
+        self._func_totals: Dict[str, int] = {}
+
+    def _counts_for(self, func_name: str, n_blocks: int) -> List[int]:
+        counts = self._func_counts.get(func_name)
+        if counts is None:
+            counts = self._func_counts[func_name] = [0] * n_blocks
+        return counts
+
+    def _fold_counts(self) -> None:
+        """Fold the dense per-function arrays into the public mappings."""
+        block_counts = self.block_counts
+        totals = self._func_totals
+        for func_name, counts in self._func_counts.items():
+            subtotal = 0
+            for index, count in enumerate(counts):
+                if count:
+                    block_counts[(func_name, index)] = count
+                    subtotal += count
+            if subtotal:
+                totals[func_name] = subtotal
+        self._func_counts.clear()
 
     def count_for(self, func_name: str) -> int:
-        return sum(
-            count
-            for (name, _), count in self.block_counts.items()
-            if name == func_name
-        )
+        """Total block executions inside ``func_name`` (O(1)).
+
+        Subtotals are maintained when counts are recorded; the fallback
+        scan only runs for results whose ``block_counts`` were populated
+        by hand (it then memoizes, so repeated calls stay O(1)).
+        """
+        totals = self._func_totals
+        if not totals and self.block_counts:
+            for (name, _), count in self.block_counts.items():
+                totals[name] = totals.get(name, 0) + count
+        return totals.get(func_name, 0)
 
 
 class _CompiledBlock:
@@ -113,8 +147,8 @@ class _CompiledFunction:
         self.label_to_index: Dict[str, int] = {}
 
 
-# Terminator outcome encoding: ("goto", block_index) | ("return", None)
-_RETURN = ("return", None)
+# Terminators return the next _CompiledBlock directly (threaded code);
+# None means "return from the function".
 
 
 class Interpreter:
@@ -165,20 +199,24 @@ class Interpreter:
         compiled = _CompiledFunction(func.name, func.frame_size)
         for index, block in enumerate(func.blocks):
             compiled.label_to_index[block.label] = index
-        for index, block in enumerate(func.blocks):
+        # Two phases: allocate every block shell first so terminators can
+        # capture the successor *block objects* (forward branches
+        # included), then fill in ops and terminators.
+        for index in range(len(func.blocks)):
             key = (func.name, index)
             global_id = self._next_block_id
             self._next_block_id += 1
             self._global_block_ids[key] = global_id
+            compiled.blocks.append(_CompiledBlock(None, None, index, global_id))
+        for index, block in enumerate(func.blocks):
             ops = [
                 self._compile_insn(insn, func)
                 for insn in block.insns
                 if not insn.is_transfer()
             ]
-            terminator = self._compile_terminator(block, compiled, func, index)
-            compiled.blocks.append(
-                _CompiledBlock([op for op in ops if op is not None], terminator, index, global_id)
-            )
+            shell = compiled.blocks[index]
+            shell.ops = [op for op in ops if op is not None]
+            shell.terminator = self._compile_terminator(block, compiled, func, index)
         self._functions[func.name] = compiled
 
     # expression compilation -------------------------------------------------------
@@ -310,37 +348,64 @@ class Interpreter:
         index: int,
     ) -> Callable:
         term = block.terminator
+        blocks = compiled.blocks
         fall_index = index + 1
         if term is None:
             if fall_index >= len(func.blocks):
                 raise ValueError(
                     f"{func.name}: block {block.label} falls off the end"
                 )
-            return lambda state: fall_index
+            fall = blocks[fall_index]
+            return lambda state: fall
         if isinstance(term, Jump):
-            target = compiled.label_to_index[term.target]
+            target = blocks[compiled.label_to_index[term.target]]
             return lambda state: target
         if isinstance(term, Return):
-            return lambda state: -1
+            return lambda state: None
         if isinstance(term, CondBranch):
-            target = compiled.label_to_index[term.target]
+            target = blocks[compiled.label_to_index[term.target]]
             rel = term.rel
+            if fall_index >= len(blocks):
+                # A conditional branch ending the function: taking it is
+                # fine, falling through is the same runtime error as
+                # indexing past the block list used to be.
+                import operator
+
+                compare = {
+                    "<": operator.lt,
+                    "<=": operator.le,
+                    ">": operator.gt,
+                    ">=": operator.ge,
+                    "==": operator.eq,
+                    "!=": operator.ne,
+                }[rel]
+                fname, label = func.name, block.label
+
+                def cond_no_fall(state: MachineState) -> _CompiledBlock:
+                    if compare(state.regs["cc"][0], 0):
+                        return target
+                    raise IndexError(
+                        f"{fname}: block {label} falls off the end"
+                    )
+
+                return cond_no_fall
+            fall = blocks[fall_index]
             if rel == "<":
-                return lambda state: target if state.regs["cc"][0] < 0 else fall_index
+                return lambda state: target if state.regs["cc"][0] < 0 else fall
             if rel == "<=":
-                return lambda state: target if state.regs["cc"][0] <= 0 else fall_index
+                return lambda state: target if state.regs["cc"][0] <= 0 else fall
             if rel == ">":
-                return lambda state: target if state.regs["cc"][0] > 0 else fall_index
+                return lambda state: target if state.regs["cc"][0] > 0 else fall
             if rel == ">=":
-                return lambda state: target if state.regs["cc"][0] >= 0 else fall_index
+                return lambda state: target if state.regs["cc"][0] >= 0 else fall
             if rel == "==":
-                return lambda state: target if state.regs["cc"][0] == 0 else fall_index
-            return lambda state: target if state.regs["cc"][0] != 0 else fall_index
+                return lambda state: target if state.regs["cc"][0] == 0 else fall
+            return lambda state: target if state.regs["cc"][0] != 0 else fall
         if isinstance(term, IndirectJump):
             addr_fn = self._compile_expr(term.addr, func)
-            targets = [compiled.label_to_index[t] for t in term.targets]
+            targets = [blocks[compiled.label_to_index[t]] for t in term.targets]
 
-            def indirect(state: MachineState) -> int:
+            def indirect(state: MachineState) -> _CompiledBlock:
                 value = addr_fn(state)
                 if not 0 <= value < len(targets):
                     raise IndexError(
@@ -356,10 +421,16 @@ class Interpreter:
     def run(
         self,
         stdin: bytes = b"",
-        trace: bool = False,
+        trace: Union[bool, TraceSink] = False,
         entry: str = "main",
     ) -> ExecutionResult:
-        """Execute the program from ``entry``; return the results."""
+        """Execute the program from ``entry``; return the results.
+
+        ``trace=True`` records the block-level trace through the default
+        compressing sink (``result.trace`` is a ``CompressedTrace``);
+        pass a :class:`~repro.ease.trace.TraceSink` instance — e.g. a
+        ``RawListSink`` — to choose the representation explicitly.
+        """
         if entry not in self._functions:
             raise KeyError(f"no function named {entry!r}")
         state = MachineState(self.mem_size, stdin, self._bank_sizes)
@@ -369,7 +440,8 @@ class Interpreter:
         entry_frame = self.mem_size - self._functions[entry].frame_size - 64
 
         result = ExecutionResult()
-        result.trace = [] if trace else None
+        sink = make_sink(trace)
+        self._sink = sink
         self._steps_left = self.max_steps
         try:
             self._run_function(state, entry, result, entry_frame)
@@ -377,6 +449,11 @@ class Interpreter:
             result.exit_code = stop.code
         else:
             result.exit_code = wrap32(state.regs["rv"][0])
+        finally:
+            self._sink = None
+        result._fold_counts()
+        if sink is not None:
+            result.trace = sink.finish()
         result.output = bytes(state.stdout)
         return result
 
@@ -400,6 +477,7 @@ class Interpreter:
         state.regs["rv"][0] = rv
 
     _current_result: ExecutionResult
+    _sink: Optional[TraceSink] = None
 
     def _run_function(
         self,
@@ -413,25 +491,38 @@ class Interpreter:
         state.fp = frame_base
         self._current_result = result
         blocks = compiled.blocks
-        counts = result.block_counts
-        trace = result.trace
-        index = 0
-        fname = compiled.name
+        # Hot loop: everything it touches per step is a local — the dense
+        # per-function count list (one list index instead of a tuple-keyed
+        # dict update), the sink's bound emit, and the block object itself
+        # (terminators return the next _CompiledBlock directly).
+        counts = result._counts_for(compiled.name, len(blocks))
+        sink = self._sink
+        block = blocks[0] if blocks else None
         try:
-            while index >= 0:
-                block = blocks[index]
-                self._steps_left -= 1
-                if self._steps_left < 0:
-                    raise StepLimitExceeded(
-                        f"exceeded {self.max_steps} block steps"
-                    )
-                key = (fname, block.index)
-                counts[key] = counts.get(key, 0) + 1
-                if trace is not None:
-                    trace.append(block.global_id)
-                for op in block.ops:
-                    op(state)
-                index = block.terminator(state)
+            if sink is None:
+                while block is not None:
+                    self._steps_left -= 1
+                    if self._steps_left < 0:
+                        raise StepLimitExceeded(
+                            f"exceeded {self.max_steps} block steps"
+                        )
+                    counts[block.index] += 1
+                    for op in block.ops:
+                        op(state)
+                    block = block.terminator(state)
+            else:
+                emit = sink.emit
+                while block is not None:
+                    self._steps_left -= 1
+                    if self._steps_left < 0:
+                        raise StepLimitExceeded(
+                            f"exceeded {self.max_steps} block steps"
+                        )
+                    counts[block.index] += 1
+                    emit(block.global_id)
+                    for op in block.ops:
+                        op(state)
+                    block = block.terminator(state)
         finally:
             state.fp = saved_fp
             self._current_result = result

@@ -18,7 +18,7 @@ simulations (Table 6).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..cfg.block import Program
 from ..obs import active as _active_observer
@@ -26,6 +26,7 @@ from ..obs.tracer import NULL_SPAN
 from ..rtl.insn import Call, CondBranch, IndirectJump, Insn, Jump, Nop, Return
 from ..targets.machine import Machine
 from .interp import Interpreter
+from .trace import CompressedTrace, TraceSink
 
 __all__ = ["Measurement", "measure_program"]
 
@@ -47,7 +48,9 @@ class Measurement:
         # Per-global-block-id instruction fetch addresses (one entry per
         # machine instruction fetched when the block executes).
         self.block_fetches: Dict[int, List[int]] = {}
-        self.trace: Optional[List[int]] = None
+        # Block-level trace: ``CompressedTrace`` by default (iterates as
+        # raw global block ids), a plain list under a ``RawListSink``.
+        self.trace = None
 
     @property
     def insns_between_branches(self) -> float:
@@ -71,11 +74,16 @@ def measure_program(
     program: Program,
     target: Machine,
     stdin: bytes = b"",
-    trace: bool = False,
+    trace: Union[bool, TraceSink] = False,
     interpreter: Optional[Interpreter] = None,
     max_steps: int = 200_000_000,
 ) -> Measurement:
-    """Run ``program`` and measure it with the target's size/count model."""
+    """Run ``program`` and measure it with the target's size/count model.
+
+    ``trace`` follows :meth:`repro.ease.interp.Interpreter.run`:
+    ``True`` records through the default compressing sink; pass a
+    :class:`~repro.ease.trace.TraceSink` to pick the representation.
+    """
     measurement = Measurement()
     interp = interpreter or Interpreter(program, max_steps=max_steps)
     obs = _active_observer()
@@ -135,6 +143,12 @@ def measure_program(
     measurement.exit_code = result.exit_code
     if trace:
         measurement.trace = result.trace
+        if obs is not None and isinstance(result.trace, CompressedTrace):
+            obs.metrics.inc("trace.rle.records", result.trace.record_count)
+            obs.metrics.set_gauge(
+                "trace.compression_ratio",
+                round(result.trace.compression_ratio, 2),
+            )
 
     with (
         tracer.span("ease.account") if tracer is not None else NULL_SPAN

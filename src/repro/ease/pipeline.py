@@ -75,15 +75,19 @@ def pipeline_cost(
     taken = 0
     not_taken = 0
     trace = measurement.trace
-    for position in range(len(trace) - 1):
-        current = trace[position]
-        follower = trace[position + 1]
-        if next_of.get(current) == follower:
+    # Stream pairwise over the trace (works for both the raw list and
+    # the compressed trace, which iterates as raw block ids).
+    iterator = iter(trace)
+    current = next(iterator, None)
+    get_next = next_of.get
+    for follower in iterator:
+        if get_next(current) == follower:
             not_taken += 1
         else:
             taken += 1
+        current = follower
     # The final block's return is a taken transfer as well.
-    if trace:
+    if current is not None:
         taken += 1
 
     cycles = measurement.dynamic_insns + model.taken_penalty * taken

@@ -25,7 +25,11 @@ __all__ = ["CellSpec", "CellResult", "CACHE_SCHEMA_VERSION"]
 #: v2: CellSpec grew ``observe``; CellResult grew ``obs`` (the
 #: observability snapshot: spans, metrics, replication decision log).
 #: v3: CellSpec grew ``spm_engine`` (the step-1 shortest-path engine).
-CACHE_SCHEMA_VERSION = 3
+#: v4: traced measurements carry an RLE ``CompressedTrace`` instead of
+#: the raw ``List[int]`` (the streaming dynamic-measurement pipeline);
+#: old raw-list envelopes must not shadow compressed ones, and the
+#: Table-6 engines (reference / multi) consume the new records.
+CACHE_SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)

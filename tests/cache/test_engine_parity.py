@@ -1,0 +1,233 @@
+"""Engine parity: the single-pass multi-configuration cache engine must
+return byte-identical ``CacheResult``s to the per-size reference replay,
+for all four paper cache sizes and both context-switch settings — the
+differential oracle that gates the fast-forward optimization.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchsuite.programs import PROGRAMS
+from repro.cache import (
+    PAPER_CACHE_SIZES,
+    CacheConfig,
+    MultiCacheStats,
+    resolve_cachesim_engine,
+    simulate_cache,
+    simulate_multi_cache,
+    simulate_paper_configurations,
+)
+from repro.ease import measure_program
+from repro.ease.trace import RleTraceSink
+from repro.frontend import compile_c
+from repro.opt import OptimizationConfig, optimize_program
+from repro.targets import get_target
+
+PAPER_CONFIGS = [CacheConfig(size=size) for size in PAPER_CACHE_SIZES]
+
+
+def assert_parity(trace, fetches, configs, ctx, interval=10_000):
+    multi = simulate_multi_cache(
+        trace, fetches, configs, context_switches=ctx
+    )
+    for config, got in zip(configs, multi):
+        want = simulate_cache(trace, fetches, config, context_switches=ctx)
+        assert got.accesses == want.accesses, config
+        assert got.misses == want.misses, config
+        assert got.fetch_cost == want.fetch_cost, config
+        assert got.flushes == want.flushes, config
+
+
+@st.composite
+def traces(draw):
+    """A block trace with loop structure (so fast-forwarding triggers)."""
+    n_blocks = draw(st.integers(1, 6))
+    fetches = {
+        i: draw(
+            st.lists(
+                st.integers(0, 1 << 11).map(lambda a: a * 4),
+                min_size=0,
+                max_size=6,
+            )
+        )
+        for i in range(n_blocks)
+    }
+    blocks = st.integers(0, n_blocks - 1)
+    pieces = draw(
+        st.lists(
+            st.one_of(
+                st.lists(blocks, max_size=8),  # literal stretch
+                st.tuples(  # repeated loop body
+                    st.lists(blocks, min_size=1, max_size=4),
+                    st.integers(2, 400),
+                ).map(lambda t: t[0] * t[1]),
+            ),
+            max_size=6,
+        )
+    )
+    trace = [b for piece in pieces for b in piece]
+    return trace, fetches
+
+
+class TestFuzzedTraces:
+    @settings(max_examples=120, deadline=None)
+    @given(traces(), st.booleans())
+    def test_paper_sizes_parity(self, data, ctx):
+        trace, fetches = data
+        assert_parity(trace, fetches, PAPER_CONFIGS, ctx)
+
+    @settings(max_examples=80, deadline=None)
+    @given(traces(), st.booleans())
+    def test_tiny_caches_parity(self, data, ctx):
+        # Tiny caches + a short flush interval stress conflict misses and
+        # the fast-forward/flush boundary far harder than the paper sizes.
+        trace, fetches = data
+        configs = [
+            CacheConfig(size=64, context_switch_interval=50),
+            CacheConfig(size=128, context_switch_interval=50),
+            CacheConfig(size=1024, context_switch_interval=50),
+        ]
+        assert_parity(trace, fetches, configs, ctx)
+
+    @settings(max_examples=60, deadline=None)
+    @given(traces())
+    def test_mixed_context_flags_parity(self, data):
+        # One walk can mix with/without-context-switch states (the full
+        # Table-6 grid as 8 states); each must match its own reference.
+        trace, fetches = data
+        configs = PAPER_CONFIGS * 2
+        flags = [False] * len(PAPER_CONFIGS) + [True] * len(PAPER_CONFIGS)
+        multi = simulate_multi_cache(trace, fetches, configs, flags)
+        for config, ctx, got in zip(configs, flags, multi):
+            want = simulate_cache(trace, fetches, config, context_switches=ctx)
+            assert (got.accesses, got.misses, got.fetch_cost, got.flushes) == (
+                want.accesses,
+                want.misses,
+                want.fetch_cost,
+                want.flushes,
+            )
+
+    def test_context_flags_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            simulate_multi_cache([0], {0: [0]}, PAPER_CONFIGS, [True, False])
+
+    @settings(max_examples=60, deadline=None)
+    @given(traces(), st.booleans())
+    def test_compressed_trace_parity(self, data, ctx):
+        # The engine consumes RLE records directly; the reference engine
+        # iterates the expanded trace.  Results must still match.
+        trace, fetches = data
+        sink = RleTraceSink()
+        for block_id in trace:
+            sink.emit(block_id)
+        compressed = sink.finish()
+        multi = simulate_multi_cache(
+            compressed, fetches, PAPER_CONFIGS, context_switches=ctx
+        )
+        for config, got in zip(PAPER_CONFIGS, multi):
+            want = simulate_cache(trace, fetches, config, context_switches=ctx)
+            assert (got.accesses, got.misses, got.fetch_cost, got.flushes) == (
+                want.accesses,
+                want.misses,
+                want.fetch_cost,
+                want.flushes,
+            )
+
+
+class TestRealPrograms:
+    @pytest.fixture(scope="class")
+    def measurements(self):
+        out = {}
+        target = get_target("sparc")
+        for name in ("wc", "sieve", "bubblesort"):
+            for replication in ("none", "jumps"):
+                bench = PROGRAMS[name]
+                program = compile_c(bench.source)
+                optimize_program(
+                    program, target, OptimizationConfig(replication=replication)
+                )
+                m = measure_program(program, target, stdin=bench.stdin, trace=True)
+                out[(name, replication)] = (m.trace, m.block_fetches)
+        return out
+
+    @pytest.mark.parametrize("ctx", [False, True])
+    def test_interpreter_traces_parity(self, measurements, ctx):
+        for (name, replication), (trace, fetches) in measurements.items():
+            assert_parity(trace, fetches, PAPER_CONFIGS, ctx)
+
+    def test_fastforward_actually_fires(self, measurements):
+        # The optimization must engage on real loopy programs, not just
+        # be correct when idle.
+        stats = MultiCacheStats()
+        trace, fetches = measurements[("sieve", "none")]
+        simulate_multi_cache(trace, fetches, PAPER_CONFIGS, stats=stats)
+        assert stats.fastforward_iters > 0
+        assert stats.fastforward_hits > 0
+
+
+class TestZeroFetchBlocks:
+    """Regression: block ids absent from ``block_fetches`` (empty basic
+    blocks, or a trace replayed against a different layout) must count as
+    zero accesses instead of raising ``KeyError``."""
+
+    def test_reference_engine_skips_unknown_blocks(self):
+        result = simulate_cache(
+            [0, 7, 1, 7], {0: [0], 1: [16]}, CacheConfig(size=64)
+        )
+        assert result.accesses == 2
+        assert result.misses == 2
+
+    def test_multi_engine_skips_unknown_blocks(self):
+        results = simulate_multi_cache(
+            [0, 7, 1, 7], {0: [0], 1: [16]}, PAPER_CONFIGS
+        )
+        for result in results:
+            assert result.accesses == 2
+
+    def test_empty_fetch_list_counts_nothing(self):
+        result = simulate_cache([0, 1, 0], {0: [], 1: [0]}, CacheConfig(size=64))
+        assert result.accesses == 1
+
+    def test_associative_engine_skips_unknown_blocks(self):
+        from repro.cache import AssociativeCacheConfig, simulate_associative_cache
+
+        result = simulate_associative_cache(
+            [0, 9], {0: [0, 4]}, AssociativeCacheConfig(size=64, associativity=2)
+        )
+        assert result.accesses == 2
+
+
+class TestDispatch:
+    def test_paper_configurations_engines_agree(self):
+        trace = [0, 1, 2] * 300 + [3]
+        fetches = {i: [i * 32 + j * 4 for j in range(4)] for i in range(4)}
+        for ctx in (False, True):
+            ref = simulate_paper_configurations(
+                trace, fetches, context_switches=ctx, engine="reference"
+            )
+            fast = simulate_paper_configurations(
+                trace, fetches, context_switches=ctx, engine="multi"
+            )
+            assert ref.keys() == fast.keys()
+            for size in ref:
+                assert (
+                    ref[size].accesses,
+                    ref[size].misses,
+                    ref[size].fetch_cost,
+                    ref[size].flushes,
+                ) == (
+                    fast[size].accesses,
+                    fast[size].misses,
+                    fast[size].fetch_cost,
+                    fast[size].flushes,
+                )
+
+    def test_resolver_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHESIM_ENGINE", raising=False)
+        assert resolve_cachesim_engine() == "multi"
+        assert resolve_cachesim_engine("reference") == "reference"
+        monkeypatch.setenv("REPRO_CACHESIM_ENGINE", "reference")
+        assert resolve_cachesim_engine() == "reference"
+        assert resolve_cachesim_engine("multi") == "multi"
+        with pytest.raises(ValueError):
+            resolve_cachesim_engine("turbo")
