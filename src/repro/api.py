@@ -45,6 +45,8 @@ class CompilationResult:
     config: OptimizationConfig
     replication_stats: ReplicationStats
     measurement: Measurement
+    #: Translation-validation report (``None`` when verification was off).
+    verification: Optional[dict] = None
 
     @property
     def output(self) -> bytes:
@@ -65,6 +67,7 @@ def compile_and_measure(
     max_rtls: Optional[int] = None,
     max_steps: int = 200_000_000,
     spm_engine: Optional[str] = None,
+    verify: Optional[str] = None,
 ) -> CompilationResult:
     """Compile, optimize, run and measure one program.
 
@@ -80,6 +83,11 @@ def compile_and_measure(
     :param max_rtls: §6 bound on replication sequence length.
     :param spm_engine: step-1 shortest-path engine ("lazy" / "dense");
         both produce identical decisions, "dense" is the differential oracle.
+    :param verify: translation-validation mode: ``"off"``, ``"sanitize"``
+        (structural invariants after every pass) or ``"full"`` (sanitize
+        plus the differential execution oracle with pass bisection);
+        ``None`` defers to the ``REPRO_VERIFY`` environment variable.
+        Failures raise :class:`repro.verify.VerificationError`.
     """
     if source_or_benchmark in PROGRAMS:
         bench = PROGRAMS[source_or_benchmark]
@@ -101,8 +109,21 @@ def compile_and_measure(
         max_rtls=max_rtls,
         spm_engine=spm_engine,
     )
-    stats = optimize_program(program, target, config)
+    from .verify.verifier import Verifier, resolve_mode
+
+    verify_mode = resolve_mode(verify)
+    verifier = (
+        Verifier(verify_mode, inputs=[stdin]) if verify_mode != "off" else None
+    )
+    stats = optimize_program(program, target, config, verifier=verifier)
     measurement = measure_program(
         program, target, stdin=stdin, trace=trace, max_steps=max_steps
     )
-    return CompilationResult(program, target, config, stats, measurement)
+    return CompilationResult(
+        program,
+        target,
+        config,
+        stats,
+        measurement,
+        verification=verifier.report() if verifier is not None else None,
+    )

@@ -371,7 +371,10 @@ def simulate_multi_cache(
 
     def build_plan(body) -> List[tuple]:
         flats: Dict[int, List[int]] = {}
-        for shift in set(shifts):
+        # dict.fromkeys, not set(): first-seen order is hash-seed
+        # independent, so plan construction (and any float accumulation
+        # downstream) is identical run to run under randomized hashing.
+        for shift in dict.fromkeys(shifts):
             table = tables[shift]
             lines: List[int] = []
             extend = lines.extend

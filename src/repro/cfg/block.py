@@ -89,7 +89,12 @@ class Function:
         # Frame layout: local name -> (byte offset, byte size).
         self.frame: Dict[str, Tuple[int, int]] = {}
         self.frame_size = 0
-        self._label_counter = itertools.count(1000)
+        # Plain int rather than an ``itertools.count`` so a structural
+        # clone (see ``repro.core.replication.clone_function``) can copy
+        # the counter state — deterministic replays (the translation
+        # validator's pass bisection) depend on clones generating the
+        # same fresh labels as the original run.
+        self._next_label = 1000
         #: Monotonic CFG-structure counter.  :func:`repro.cfg.graph.compute_flow`
         #: bumps it whenever the block list or any edge actually changed;
         #: cached analyses (see :mod:`repro.cfg.analyses`) key off it.
@@ -112,7 +117,8 @@ class Function:
         """Return a label not used by any block of this function."""
         existing = {block.label for block in self.blocks}
         while True:
-            label = f"L{next(self._label_counter)}"
+            label = f"L{self._next_label}"
+            self._next_label += 1
             if label not in existing:
                 return label
 

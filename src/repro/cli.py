@@ -14,6 +14,14 @@ Commands
 ``bench``     run the (program × target × config) evaluation matrix in
               parallel through the persistent result cache
 ``trace``     render the digest of a JSONL observability trace
+``fuzz``      fuzz generated programs through the optimizer under the
+              translation validator (CI's verify-smoke job)
+
+Translation validation: every compiling command accepts ``--verify
+{off,sanitize,full}`` (or ``REPRO_VERIFY``): ``sanitize`` checks CFG/RTL
+invariants after every optimizer pass, ``full`` additionally interprets
+the program before and after optimization and — on a behaviour change —
+bisects to the guilty pass.
 
 Programs are given either as a path to a ``.c`` file or as one of the
 benchmark names (``wc``, ``sieve``, …).
@@ -81,6 +89,14 @@ def _config_arguments(parser: argparse.ArgumentParser) -> None:
         "dense is the differential oracle)",
     )
     parser.add_argument(
+        "--verify",
+        choices=["off", "sanitize", "full"],
+        default=None,
+        help="translation validation: sanitize = CFG/RTL invariants after "
+        "every pass; full = also the differential execution oracle with "
+        "pass bisection (default: off, or REPRO_VERIFY)",
+    )
+    parser.add_argument(
         "--stdin",
         type=Path,
         default=None,
@@ -123,6 +139,7 @@ def _measure(args, replication: Optional[str] = None, trace: bool = False):
         max_rtls=args.max_rtls,
         trace=trace,
         spm_engine=args.spm_engine,
+        verify=args.verify,
     )
 
 
@@ -158,6 +175,12 @@ def cmd_measure(args) -> int:
         ["exit code", m.exit_code],
     ]
     print(format_table(["metric", "value"], rows))
+    if result.verification is not None:
+        v = result.verification
+        print(
+            f"verified: mode={v['mode']} passes={v['pass_invocations']} "
+            f"sanitize={v['sanitize_checks']} oracle_runs={v['oracle_runs']}"
+        )
     return 0
 
 
@@ -347,6 +370,7 @@ def cmd_bench(args) -> int:
             max_rtls=args.max_rtls,
             trace=args.trace,
             spm_engine=args.spm_engine,
+            verify=args.verify,
         )
         for target in args.targets
         for config in args.configs
@@ -461,6 +485,45 @@ def cmd_bench(args) -> int:
         print(f"\n--- {result.spec.label} failed ---", file=sys.stderr)
         print(result.error, file=sys.stderr)
     return 1 if failures else 0
+
+
+def cmd_fuzz(args) -> int:
+    """Fuzz generated programs through the optimizer under verification."""
+    import time
+
+    from .verify import run_campaign
+
+    start = time.perf_counter()
+    result = run_campaign(
+        args.count,
+        seed=args.seed,
+        target=args.target,
+        replication=args.replication,
+        mode=args.mode,
+        minimize=not args.no_minimize,
+        max_rtls=args.max_rtls if args.max_rtls > 0 else None,
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        f"{result.programs_run} programs fuzzed in {elapsed:.1f}s "
+        f"({result.totals.get('pass_invocations', 0)} pass invocations, "
+        f"{result.totals.get('sanitize_checks', 0)} sanitizer checks, "
+        f"{result.totals.get('oracle_runs', 0)} oracle runs, "
+        f"{result.failures} failures)"
+    )
+    if result.ok:
+        return 0
+    failure = result.first_failure or {}
+    print(
+        f"\nFAILURE at seed {failure.get('seed')}:\n{failure.get('error')}",
+        file=sys.stderr,
+    )
+    if args.reproducer is not None and "minimized" in failure:
+        args.reproducer.write_text(str(failure["minimized"]))
+        print(f"minimized reproducer written to {args.reproducer}", file=sys.stderr)
+    elif "minimized" in failure:
+        print(f"\nminimized reproducer:\n{failure['minimized']}", file=sys.stderr)
+    return 1
 
 
 def cmd_trace(args) -> int:
@@ -615,9 +678,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=Path, default=None, help="write results to a JSON file"
     )
     p.add_argument(
+        "--verify",
+        choices=["off", "sanitize", "full"],
+        default=None,
+        help="run every cell under translation validation "
+        "(bypasses the result cache; default: off, or REPRO_VERIFY)",
+    )
+    p.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress on stderr"
     )
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="fuzz generated programs through the optimizer under the "
+        "translation validator",
+    )
+    p.add_argument(
+        "--count", type=int, default=50, metavar="N", help="programs to fuzz"
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="base seed (program i uses seed+i)"
+    )
+    p.add_argument(
+        "--target",
+        choices=["m68020", "sparc"],
+        default="sparc",
+        help="machine model (default: sparc)",
+    )
+    p.add_argument(
+        "--replication",
+        choices=["none", "loops", "jumps"],
+        default="jumps",
+        help="replication configuration (default: jumps)",
+    )
+    p.add_argument(
+        "--mode",
+        choices=["sanitize", "full"],
+        default="full",
+        help="verification mode (default: full)",
+    )
+    p.add_argument(
+        "--max-rtls",
+        type=int,
+        default=64,
+        help="replication sequence-length bound for fuzzed programs "
+        "(default: 64; 0 = unbounded, occasionally minutes per program)",
+    )
+    p.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="skip ddmin reduction of a failing program",
+    )
+    p.add_argument(
+        "--reproducer",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the minimized failing program here (CI artifact)",
+    )
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
         "trace", help="render the digest of a JSONL observability trace"

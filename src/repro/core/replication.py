@@ -106,6 +106,10 @@ def clone_function(func: Function) -> Function:
     copy = Function(func.name, func.params)
     copy.frame = dict(func.frame)
     copy.frame_size = func.frame_size
+    # Carry the label counter so a clone generates the same fresh labels
+    # the original would — deterministic replay (pass bisection in the
+    # translation validator) relies on it.
+    copy._next_label = func._next_label
     copy.blocks = [
         BasicBlock(block.label, [insn.clone() for insn in block.insns])
         for block in func.blocks
@@ -129,6 +133,7 @@ class CodeReplicator:
             Callable[[Function, BasicBlock, Jump], bool]
         ] = None,
         engine: Optional[str] = None,
+        after_sweep: Optional[Callable[[Function, int], None]] = None,
     ) -> None:
         self.mode = mode
         self.policy = policy
@@ -143,6 +148,9 @@ class CodeReplicator:
         # Optional predicate deciding whether a particular jump should be
         # replaced at all — the hook used by profile-guided replication.
         self.jump_filter = jump_filter
+        # Called as ``after_sweep(func, sweep_number)`` once each sweep
+        # finishes — the translation validator sanitizes the CFG here.
+        self.after_sweep = after_sweep
         # A safeguard against pathological cascades on adversarial flow
         # graphs ("replication ad infinitum", §5.2): stop growing once the
         # function reaches this many blocks.
@@ -193,6 +201,8 @@ class CodeReplicator:
                             progress = True
                             budget -= 1
                     position += 1
+            if self.after_sweep is not None:
+                self.after_sweep(func, sweep)
         return stats
 
     # ----------------------------------------------------------- jump handling

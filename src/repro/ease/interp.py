@@ -82,6 +82,9 @@ class ExecutionResult:
     def __init__(self) -> None:
         self.output = b""
         self.exit_code = 0
+        # Final image of the globals region (guard page excluded); the
+        # translation validator compares it across pipeline stages.
+        self.globals_image = b""
         # (function name, block index) -> execution count.
         self.block_counts: Dict[Tuple[str, int], int] = {}
         # Optional block-level trace: a plain list of global block ids
@@ -455,6 +458,7 @@ class Interpreter:
         if sink is not None:
             result.trace = sink.finish()
         result.output = bytes(state.stdout)
+        result.globals_image = bytes(state.mem[64 : self._globals_end])
         return result
 
     def _do_call(self, state: MachineState, name: str, nargs: int) -> None:

@@ -29,7 +29,11 @@ __all__ = ["CellSpec", "CellResult", "CACHE_SCHEMA_VERSION"]
 #: the raw ``List[int]`` (the streaming dynamic-measurement pipeline);
 #: old raw-list envelopes must not shadow compressed ones, and the
 #: Table-6 engines (reference / multi) consume the new records.
-CACHE_SCHEMA_VERSION = 4
+#: v5: CellSpec grew ``verify`` and CellResult grew ``verification``
+#: (the translation-validation subsystem); verified runs bypass the
+#: cache entirely, but old envelopes lacking the new fields must not
+#: resurface.
+CACHE_SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -63,6 +67,13 @@ class CellSpec:
     #: engines differ in timing/metrics, so the engine is part of the
     #: cache key — a dense differential run never shadows a lazy one.
     spm_engine: Optional[str] = None
+    #: Translation-validation mode ("off" / "sanitize" / "full");
+    #: ``None`` defers to ``REPRO_VERIFY``.  A cell whose effective mode
+    #: is not "off" bypasses the result cache in both directions: a
+    #: verified run must actually *run* (a cache hit would validate
+    #: nothing), and its timings are poisoned by oracle overhead, so it
+    #: must not shadow a clean run either.
+    verify: Optional[str] = None
 
     def resolve(self) -> Tuple[str, bytes]:
         """The (source text, stdin bytes) this cell actually runs."""
@@ -103,6 +114,8 @@ class CellResult:
     compile_seconds: float = 0.0
     optimize_seconds: float = 0.0
     measure_seconds: float = 0.0
+    #: Translation-validation report (``None`` when verification was off).
+    verification: Optional[dict] = None
     #: Captured traceback text when the cell crashed; ``None`` on success.
     error: Optional[str] = None
     #: Filled in by the runner: whether this came from the result cache.

@@ -35,6 +35,21 @@ def default_worker_count() -> int:
         return os.cpu_count() or 1
 
 
+def _effective_verify_mode(spec: CellSpec) -> str:
+    """The cell's resolved translation-validation mode.
+
+    An unparseable ``REPRO_VERIFY`` counts as active ("bypass the
+    cache"): the configuration error must surface from an actual run,
+    not be papered over by a stale cache hit.
+    """
+    from ..verify.verifier import resolve_mode
+
+    try:
+        return resolve_mode(spec.verify)
+    except ValueError:
+        return "invalid"
+
+
 def execute_cell(spec: CellSpec) -> CellResult:
     """Run one matrix cell; never raises — failures land in the envelope.
 
@@ -47,6 +62,7 @@ def execute_cell(spec: CellSpec) -> CellResult:
     from ..obs import Observer, active, deactivate, install
 
     result = CellResult(spec=spec)
+    verifier = None
     previous = active()
     observer = Observer(
         spans=spec.observe or (previous is not None and previous.tracer.enabled)
@@ -79,9 +95,16 @@ def execute_cell(spec: CellSpec) -> CellResult:
                     validate_cfg=spec.validate_cfg,
                     spm_engine=spec.spm_engine,
                 )
+                from ..verify.verifier import Verifier, resolve_mode
+
+                verify_mode = resolve_mode(spec.verify)
+                if verify_mode != "off":
+                    verifier = Verifier(verify_mode, inputs=[stdin])
                 instrumentation = PassInstrumentation()
                 start = perf_counter()
-                stats = optimize_program(program, target, config, instrumentation)
+                stats = optimize_program(
+                    program, target, config, instrumentation, verifier=verifier
+                )
                 result.optimize_seconds = perf_counter() - start
                 result.replication_stats = stats.as_dict()
                 result.passes = [asdict(rec) for rec in instrumentation.records]
@@ -100,6 +123,10 @@ def execute_cell(spec: CellSpec) -> CellResult:
         else:
             deactivate()
         result.obs = observer.snapshot()
+        if verifier is not None:
+            # Attach the report even when verification *failed* — the
+            # error envelope then carries the bisection verdict too.
+            result.verification = verifier.report()
     return result
 
 
@@ -141,9 +168,11 @@ class ParallelRunner:
         results: List[Optional[CellResult]] = [None] * len(specs)
         pending: List[int] = []
 
-        # Pass 1: serve what the cache already has.
+        # Pass 1: serve what the cache already has.  Cells running under
+        # translation validation never read the cache — a hit would skip
+        # the verified pipeline run, which is the entire point.
         for index, spec in enumerate(specs):
-            if self.cache is not None:
+            if self.cache is not None and _effective_verify_mode(spec) == "off":
                 cached = self.cache.get_spec(spec)
                 if cached is not None and cached.ok:
                     cached.cache_hit = True
@@ -155,7 +184,13 @@ class ParallelRunner:
 
         # Pass 2: compute the misses (in a pool, or inline for workers<=1).
         def finish(index: int, result: CellResult) -> None:
-            if self.cache is not None and result.ok:
+            # Verified runs also never *write* the cache: their timings
+            # carry oracle overhead and would poison clean-run entries.
+            if (
+                self.cache is not None
+                and result.ok
+                and _effective_verify_mode(specs[index]) == "off"
+            ):
                 self.cache.put_spec(specs[index], result)
             results[index] = result
             # Fold the cell's observability snapshot into this process's

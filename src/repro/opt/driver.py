@@ -98,7 +98,11 @@ class OptimizationConfig:
             )
 
 
-def _make_replicator(config: OptimizationConfig, allow_irreducible: bool = False):
+def _make_replicator(
+    config: OptimizationConfig,
+    allow_irreducible: bool = False,
+    after_sweep: Optional[Callable] = None,
+):
     if config.replication == "none":
         return None
     if config.replication == "loops":
@@ -106,6 +110,7 @@ def _make_replicator(config: OptimizationConfig, allow_irreducible: bool = False
             mode=ReplicationMode.LOOPS,
             policy=Policy.FAVOR_LOOPS,
             engine=config.spm_engine,
+            after_sweep=after_sweep,
         )
     return CodeReplicator(
         mode=ReplicationMode.JUMPS,
@@ -113,6 +118,7 @@ def _make_replicator(config: OptimizationConfig, allow_irreducible: bool = False
         max_rtls=config.max_rtls,
         allow_irreducible=allow_irreducible,
         engine=config.spm_engine,
+        after_sweep=after_sweep,
     )
 
 
@@ -121,6 +127,7 @@ def optimize_function(
     target: Machine,
     config: OptimizationConfig,
     instrumentation: Optional[PassInstrumentation] = None,
+    verifier=None,
 ) -> ReplicationStats:
     """Run the Figure-3 pipeline over ``func`` in place.
 
@@ -132,6 +139,12 @@ def optimize_function(
     registry.  With ``config.validate_cfg`` set, the CFG invariant
     validator runs after every pass and raises ``AssertionError`` on the
     first pass that leaves the graph inconsistent.
+
+    ``verifier`` is a translation-validation hook object (see
+    :mod:`repro.verify.verifier`): ``allow_pass`` gates every pass
+    invocation — a False answer skips the pass, which is how bisection
+    replays stop the pipeline after exactly ``k`` invocations — and
+    ``after_pass`` sanitizes the function once the pass ran.
     """
     stats = ReplicationStats()
     obs = _active_observer()
@@ -141,8 +154,13 @@ def optimize_function(
     )
 
     def step(name: str, pass_fn: Callable[[], object]) -> bool:
+        if verifier is not None and not verifier.allow_pass(func, name):
+            return False
         if not observe:
-            return bool(pass_fn())
+            outcome = bool(pass_fn())
+            if verifier is not None:
+                verifier.after_pass(func, name)
+            return outcome
         rtls_before = rtl_count(func)
         jumps_before = jump_count(func)
         start = perf_counter()
@@ -173,10 +191,13 @@ def optimize_function(
                 raise AssertionError(
                     f"CFG invariants violated after pass {name!r}: {exc}"
                 ) from exc
+        if verifier is not None:
+            verifier.after_pass(func, name)
         return bool(outcome)
 
     def replicate(allow_irreducible: bool = False) -> bool:
-        replicator = _make_replicator(config, allow_irreducible)
+        after_sweep = verifier.after_sweep if verifier is not None else None
+        replicator = _make_replicator(config, allow_irreducible, after_sweep)
         if replicator is None:
             return False
         run_stats = replicator.run(func)
@@ -255,13 +276,30 @@ def optimize_program(
     target,
     config: Optional[OptimizationConfig] = None,
     instrumentation: Optional[PassInstrumentation] = None,
+    verifier=None,
 ) -> ReplicationStats:
-    """Optimize every function of ``program``; return merged replication stats."""
+    """Optimize every function of ``program``; return merged replication stats.
+
+    With a ``verifier`` (see :mod:`repro.verify.verifier`), the pristine
+    program is snapshotted before the first pass and the differential
+    oracle re-checks observable behaviour after every function and at the
+    end; a divergence raises
+    :class:`~repro.verify.errors.MiscompileError` after bisecting to the
+    guilty pass.
+    """
     if isinstance(target, str):
         target = get_target(target)
     if config is None:
         config = OptimizationConfig()
+    if verifier is not None:
+        verifier.begin(program, target, config)
     total = ReplicationStats()
     for func in program.functions.values():
-        total.merge(optimize_function(func, target, config, instrumentation))
+        total.merge(
+            optimize_function(func, target, config, instrumentation, verifier)
+        )
+        if verifier is not None:
+            verifier.after_function(func)
+    if verifier is not None:
+        verifier.finish()
     return total

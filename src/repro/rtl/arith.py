@@ -4,13 +4,35 @@ RTL interpreter.
 Semantics follow C on the modelled machines: 32-bit wrap-around for
 add/sub/mul, truncation toward zero for division and remainder, shift
 counts masked to 5 bits.
+
+Shift-count model
+-----------------
+Shift counts are reduced modulo 32 (``count & SHIFT_MASK``) before the
+shift — the SPARC's 32-bit shift semantics, and what every x86-family
+machine does too.  ``x << 32 == x``, ``x << 33 == x << 1``, and a
+negative count is first wrapped (``-1 & 31 == 31``).  This single model
+is shared by *every* consumer of :func:`eval_binop` — the front-end's
+literal folder, ``const_fold``, CSE's value numbering, and the EASE
+interpreter — so compile-time folding and run-time evaluation agree by
+construction and can never be a translation-validation divergence.
+
+The real MC68020 masks shift counts modulo 64 instead, so ``x << 32``
+is 0 there; C leaves over-wide shifts undefined, so a C compiler may
+pick either.  This repro deliberately models mod-32 *uniformly* —
+machine descriptions declare the model via ``Machine.shift_mask`` and a
+cross-check test pins them to this module — because a target-dependent
+fold would make optimized programs behaviorally target-dependent, which
+the paper's measurements (and our differential oracle) assume away.
 """
 
 from __future__ import annotations
 
-__all__ = ["wrap32", "eval_binop", "eval_unop", "compare_relation"]
+__all__ = ["wrap32", "eval_binop", "eval_unop", "compare_relation", "SHIFT_MASK"]
 
 _MASK = 0xFFFFFFFF
+
+#: Shift counts are reduced ``count & SHIFT_MASK`` (the mod-32 model).
+SHIFT_MASK = 31
 
 
 def wrap32(value: int) -> int:
@@ -55,10 +77,10 @@ def eval_binop(op: str, a: int, b: int) -> int:
     if op == "^":
         return wrap32(a ^ b)
     if op == "<<":
-        return wrap32(a << (b & 31))
+        return wrap32(a << (b & SHIFT_MASK))
     if op == ">>":
         # Arithmetic shift right (the values are signed).
-        return wrap32(a >> (b & 31))
+        return wrap32(a >> (b & SHIFT_MASK))
     raise ValueError(f"unknown binary operator {op!r}")
 
 

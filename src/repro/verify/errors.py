@@ -1,0 +1,50 @@
+"""Failure types of the translation-validation subsystem.
+
+All verification failures derive from :class:`VerificationError`, so
+callers that only want "did the pipeline verify?" can catch one type.
+The two concrete failures carry structured payloads:
+
+* :class:`SanitizeError` — a structural invariant (CFG or RTL) broke;
+  ``violations`` lists every broken invariant, ``stage`` names the pass
+  or sweep that left the function inconsistent.
+* :class:`MiscompileError` — the differential execution oracle observed
+  a behaviour change; ``report`` is the full verification report,
+  including the bisection verdict naming the guilty pass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["VerificationError", "SanitizeError", "MiscompileError"]
+
+
+class VerificationError(Exception):
+    """Base class of every translation-validation failure."""
+
+
+class SanitizeError(VerificationError):
+    """A structural CFG/RTL invariant does not hold."""
+
+    def __init__(self, function: str, stage: str, violations: List[str]) -> None:
+        self.function = function
+        self.stage = stage
+        self.violations = list(violations)
+        listing = "\n  - ".join(self.violations)
+        super().__init__(
+            f"sanitizer failed for {function!r} after {stage}:\n  - {listing}"
+        )
+
+
+class MiscompileError(VerificationError):
+    """The oracle observed a behaviour change; ``report`` has the details."""
+
+    def __init__(self, message: str, report: Optional[dict] = None) -> None:
+        self.report = report or {}
+        super().__init__(message)
+
+    @property
+    def guilty_pass(self) -> Optional[str]:
+        failure = self.report.get("failure") or {}
+        bisection = failure.get("bisection") or {}
+        return bisection.get("guilty_pass")

@@ -1,0 +1,72 @@
+"""Delta-shrinking minimizer for failing fuzzed programs.
+
+Classic ddmin (Zeller's delta debugging) over source *lines*: try
+removing chunks of decreasing size, keeping any removal after which the
+failure predicate still holds.  Candidates that no longer parse simply
+make the predicate return False, so structural validity needs no special
+handling — invalid deletions are just unproductive steps.
+
+The predicate is arbitrary ("still fails verification", "still triggers
+the injected mutation", ...), so the minimizer serves both the fuzzing
+campaign and the mutation-smoke suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+__all__ = ["ddmin_lines", "minimize_source"]
+
+
+def ddmin_lines(
+    lines: List[str],
+    still_fails: Callable[[List[str]], bool],
+    max_probes: int = 400,
+) -> List[str]:
+    """Minimize ``lines`` to a 1-minimal failing subset (by chunks).
+
+    ``still_fails`` receives a candidate line list; ``max_probes`` bounds
+    the total number of predicate evaluations (each is a full
+    compile + optimize + oracle cycle, so the bound matters).
+    """
+    probes = 0
+
+    def check(candidate: List[str]) -> bool:
+        nonlocal probes
+        probes += 1
+        return still_fails(candidate)
+
+    n = 2
+    while len(lines) >= 2 and probes < max_probes:
+        chunk = max(1, len(lines) // n)
+        reduced = False
+        start = 0
+        while start < len(lines) and probes < max_probes:
+            candidate = lines[:start] + lines[start + chunk :]
+            if candidate and check(candidate):
+                lines = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                # Retry from the same start: the next chunk slid into place.
+            else:
+                start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            n = min(n * 2, len(lines))
+    return lines
+
+
+def minimize_source(
+    source: str,
+    still_fails: Callable[[str], bool],
+    max_probes: int = 400,
+) -> str:
+    """Line-level ddmin over a source string (see :func:`ddmin_lines`)."""
+    lines = source.splitlines()
+    minimized = ddmin_lines(
+        lines,
+        lambda candidate: still_fails("\n".join(candidate) + "\n"),
+        max_probes=max_probes,
+    )
+    return "\n".join(minimized) + "\n"

@@ -1,0 +1,315 @@
+"""The verification orchestrator: sanitize, oracle, and pass bisection.
+
+One :class:`Verifier` instance accompanies one ``optimize_program`` run.
+The driver consults it at four points:
+
+* ``allow_pass(func, name)`` — before each pass invocation.  In a
+  primary run this always answers True while recording the invocation in
+  ``pass_trace``; a bisection *replay* (:class:`ReplayGate`) answers
+  False once its budget is exhausted, so the replayed pipeline stops
+  after exactly ``k`` pass invocations.
+* ``after_pass(func, name)`` — sanitize the function (every mode except
+  ``off``).
+* ``after_sweep(func, sweep)`` — sanitize after each replication sweep.
+* ``after_function(func)`` / ``finish()`` — oracle checkpoints in
+  ``full`` mode: the current program is interpreted against the recorded
+  inputs and compared with the pristine program's behaviour.
+
+Bisection
+---------
+
+Because every pass is deterministic within a process, replaying the
+pipeline on a fresh clone of the pristine program reproduces the primary
+run's pass sequence exactly — so "the program after the first ``k`` pass
+invocations" is a well-defined, recomputable object.  When an oracle
+checkpoint fails after ``n`` invocations, a binary search over the
+budget ``k`` finds the smallest failing prefix; the guilty pass is the
+``k``-th entry of the recorded trace.  ``verify.bisect.steps`` counts
+the replays the search needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cfg.block import Function, Program
+from ..obs import active as _active_observer
+from ..obs.decisions import ReplicationDecision
+from .errors import MiscompileError, SanitizeError
+from .oracle import (
+    ORACLE_MAX_STEPS,
+    capture_behavior,
+    clone_program,
+    diff_behaviors,
+)
+from .sanitize import sanitize_function
+
+__all__ = ["Verifier", "ReplayGate", "VERIFY_MODES", "resolve_mode"]
+
+VERIFY_MODES = ("off", "sanitize", "full")
+
+
+def resolve_mode(mode: Optional[str]) -> str:
+    """Resolve an explicit mode or fall back to ``REPRO_VERIFY``/off."""
+    if mode is None:
+        import os
+
+        mode = os.environ.get("REPRO_VERIFY", "off").strip().lower() or "off"
+    if mode not in VERIFY_MODES:
+        raise ValueError(
+            f"verify mode must be one of {'/'.join(VERIFY_MODES)}, got {mode!r}"
+        )
+    return mode
+
+
+class ReplayGate:
+    """Budgeted no-op verifier driving one bisection replay.
+
+    Allows exactly ``budget`` pass invocations, then denies the rest; no
+    sanitizing, no oracle — the replay's job is only to reproduce the
+    intermediate program.
+    """
+
+    def __init__(self, budget: int) -> None:
+        self.budget = budget
+        self.executed = 0
+        self.pass_trace: List[Tuple[str, str]] = []
+
+    def allow_pass(self, func: Function, name: str) -> bool:
+        if self.executed >= self.budget:
+            return False
+        self.executed += 1
+        self.pass_trace.append((func.name, name))
+        return True
+
+    def begin(self, program: Program, target=None, config=None) -> None:
+        pass
+
+    def after_pass(self, func: Function, name: str) -> None:
+        pass
+
+    def after_sweep(self, func: Function, sweep: int) -> None:
+        pass
+
+    def after_function(self, func: Function) -> None:
+        pass
+
+    def finish(self) -> Dict[str, object]:
+        return {}
+
+
+class Verifier:
+    """Translation validation for one ``optimize_program`` run."""
+
+    def __init__(
+        self,
+        mode: str = "sanitize",
+        inputs: Optional[Sequence[bytes]] = None,
+        bisect: bool = True,
+        max_steps: int = ORACLE_MAX_STEPS,
+    ) -> None:
+        self.mode = resolve_mode(mode)
+        self.inputs: List[bytes] = list(inputs) if inputs else [b""]
+        self.bisect = bisect
+        self.max_steps = max_steps
+        self.pass_trace: List[Tuple[str, str]] = []
+        self.executed = 0
+        self.sanitize_checks = 0
+        self.oracle_runs = 0
+        self.bisect_steps = 0
+        self.program: Optional[Program] = None
+        self.target = None
+        self.config = None
+        self.pristine: Optional[Program] = None
+        self.reference = None
+        self._post_regalloc: set = set()
+        self._failure: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def begin(self, program: Program, target=None, config=None) -> None:
+        """Snapshot the pristine program and its reference behaviour."""
+        self.program = program
+        self.target = target
+        self.config = config
+        self.pass_trace.clear()
+        self.executed = 0
+        self._post_regalloc.clear()
+        self._failure = None
+        if self.mode == "full":
+            self.pristine = clone_program(program)
+            self.reference = capture_behavior(
+                self.pristine, self.inputs, self.max_steps
+            )
+
+    def finish(self) -> Dict[str, object]:
+        """Final oracle checkpoint; returns the verification report."""
+        if self.mode == "full" and self.program is not None:
+            self._oracle_checkpoint("finish")
+        return self.report()
+
+    def report(self) -> Dict[str, object]:
+        report: Dict[str, object] = {
+            "mode": self.mode,
+            "pass_invocations": self.executed,
+            "sanitize_checks": self.sanitize_checks,
+            "oracle_runs": self.oracle_runs,
+            "bisect_steps": self.bisect_steps,
+        }
+        if self._failure is not None:
+            report["failure"] = self._failure
+        return report
+
+    # ------------------------------------------------------------ pass hooks
+
+    def allow_pass(self, func: Function, name: str) -> bool:
+        self.executed += 1
+        self.pass_trace.append((func.name, name))
+        return True
+
+    def after_pass(self, func: Function, name: str) -> None:
+        if self.mode == "off":
+            return
+        if name == "regalloc":
+            self._post_regalloc.add(func.name)
+        self._sanitize(func, name)
+
+    def after_sweep(self, func: Function, sweep: int) -> None:
+        if self.mode == "off":
+            return
+        self._sanitize(func, f"replication sweep {sweep}")
+
+    def after_function(self, func: Function) -> None:
+        if self.mode != "full":
+            return
+        self._oracle_checkpoint(f"function {func.name}")
+
+    # ------------------------------------------------------------ sanitizer
+
+    def _sanitize(self, func: Function, stage: str) -> None:
+        self.sanitize_checks += 1
+        violations = sanitize_function(
+            func,
+            program=self.program,
+            post_regalloc=func.name in self._post_regalloc,
+        )
+        obs = _active_observer()
+        if obs is not None:
+            obs.metrics.inc(
+                "verify.sanitize.fail" if violations else "verify.sanitize.pass"
+            )
+        if violations:
+            self._failure = {
+                "kind": "sanitize",
+                "function": func.name,
+                "stage": stage,
+                "violations": violations,
+            }
+            raise SanitizeError(func.name, stage, violations)
+
+    # ------------------------------------------------------------ the oracle
+
+    def _capture(self, program: Program) -> List:
+        self.oracle_runs += 1
+        obs = _active_observer()
+        if obs is not None:
+            obs.metrics.inc("verify.oracle.runs")
+        return capture_behavior(program, self.inputs, self.max_steps)
+
+    def _oracle_checkpoint(self, checkpoint: str) -> None:
+        assert self.program is not None and self.reference is not None
+        divergence = diff_behaviors(self.reference, self._capture(self.program))
+        if divergence is None:
+            return
+        failure: Dict[str, object] = {
+            "kind": "miscompile",
+            "checkpoint": checkpoint,
+            **divergence,
+        }
+        if self.bisect:
+            failure["bisection"] = self._bisect()
+        self._failure = failure
+        guilty = (failure.get("bisection") or {}).get("guilty_pass")
+        obs = _active_observer()
+        if obs is not None:
+            obs.metrics.inc("verify.miscompiles")
+            if obs.decisions.enabled:
+                obs.decisions.record(
+                    ReplicationDecision(
+                        function=checkpoint,
+                        block="",
+                        target="",
+                        mode="verify",
+                        policy="oracle",
+                        outcome="verify_miscompile",
+                        reason=str(guilty or divergence["diff"]),
+                    )
+                )
+        message = (
+            f"miscompile detected at checkpoint {checkpoint!r} "
+            f"(input #{divergence['input_index']}): {divergence['diff']}"
+        )
+        if guilty:
+            message += f"; bisection blames pass {guilty!r}"
+        raise MiscompileError(message, {"failure": failure})
+
+    # ------------------------------------------------------------ bisection
+
+    def _replay(self, budget: int) -> Tuple[bool, ReplayGate]:
+        """Re-run the pipeline with a pass budget; True = behaviour diverges."""
+        from ..opt.driver import optimize_program
+
+        assert self.pristine is not None and self.reference is not None
+        program = clone_program(self.pristine)
+        gate = ReplayGate(budget)
+        optimize_program(program, self.target, self.config, verifier=gate)
+        diverged = diff_behaviors(self.reference, self._capture(program))
+        return diverged is not None, gate
+
+    def _bisect(self) -> Dict[str, object]:
+        """Binary-search the smallest failing pass-invocation prefix."""
+        obs = _active_observer()
+
+        def probe(k: int) -> Tuple[bool, ReplayGate]:
+            self.bisect_steps += 1
+            if obs is not None:
+                obs.metrics.inc("verify.bisect.steps")
+            return self._replay(k)
+
+        hi = self.executed
+        bad, gate = probe(hi)
+        if not bad:
+            # The full replay does not reproduce the divergence: some pass
+            # is nondeterministic within the process, which bisection
+            # cannot attribute.  Report that instead of guessing.
+            return {
+                "reproduced": False,
+                "steps": self.bisect_steps,
+                "guilty_pass": None,
+            }
+        if hi == 0:
+            return {
+                "reproduced": True,
+                "steps": self.bisect_steps,
+                "guilty_pass": None,
+            }
+        lo = 0
+        trace = gate.pass_trace
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            bad, gate = probe(mid)
+            if bad:
+                hi = mid
+                trace = gate.pass_trace
+            else:
+                lo = mid
+        func_name, pass_name = trace[hi - 1]
+        return {
+            "reproduced": True,
+            "k_bad": hi,
+            "k_good": lo,
+            "steps": self.bisect_steps,
+            "guilty_pass": f"{func_name}:{pass_name}",
+            "guilty_function": func_name,
+            "guilty_pass_name": pass_name,
+        }

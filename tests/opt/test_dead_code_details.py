@@ -110,6 +110,81 @@ class TestMergeBlocks:
         # L1 has two predecessors (fall-through and branch): no merge.
         assert len(func.blocks) == before
 
+    def test_single_block_function_untouched(self):
+        func = function_from_text("f", "d[0]=1;\nPC=RT;\n")
+        assert not eliminate_dead_code(func)
+        assert [b.label for b in func.blocks] == ["B1"]
+        check_function(func)
+
+    def test_jump_to_adjacent_last_label_removed_and_merged(self):
+        func = function_from_text(
+            "f",
+            """
+            d[0]=1;
+            PC=L9;
+            L9:
+              PC=RT;
+            """,
+        )
+        assert eliminate_dead_code(func)
+        assert len(func.blocks) == 1
+        assert func.jump_count() == 0
+        check_function(func)
+
+    def test_jump_to_nonadjacent_last_label_kept(self):
+        # L9 has two predecessors (the jump and L1's fall-through): the
+        # jump is not redundant and the last block must not merge away.
+        func = function_from_text(
+            "f",
+            """
+            NZ=d[0]?1;
+            PC=NZ==0,L1;
+            d[0]=1;
+            PC=L9;
+            L1:
+              d[0]=2;
+            L9:
+              PC=RT;
+            """,
+        )
+        assert not eliminate_dead_code(func)
+        assert [b.label for b in func.blocks] == ["B1", "B2", "L1", "L9"]
+        assert func.jump_count() == 1
+        check_function(func)
+
+    def test_unreachable_empty_final_block_removed(self):
+        from repro.cfg.graph import compute_flow
+
+        func = function_from_text("f", "d[0]=1;\nPC=RT;\n")
+        func.blocks.append(type(func.blocks[0])(label="L99"))
+        compute_flow(func)
+        assert eliminate_dead_code(func)
+        assert [b.label for b in func.blocks] == ["B1"]
+        check_function(func)
+
+    def test_reachable_empty_final_block_preserved(self):
+        # An empty final block that is a live branch target must survive
+        # every cleanup: it is reachable, its label is referenced, and it
+        # has two predecessors — none of the three rules may fire.
+        from repro.cfg.graph import compute_flow
+
+        func = function_from_text(
+            "f",
+            """
+            NZ=d[0]?1;
+            PC=NZ==0,L9;
+            d[0]=1;
+            PC=RT;
+            L9:
+              PC=RT;
+            """,
+        )
+        func.blocks[-1].insns.clear()
+        compute_flow(func)
+        assert not eliminate_dead_code(func)
+        assert [b.label for b in func.blocks] == ["B1", "B2", "L9"]
+        assert func.blocks[-1].size() == 0
+
     def test_merge_preserves_execution(self):
         from repro.cfg import Program
         from repro.ease import Interpreter
