@@ -1,0 +1,200 @@
+"""Acceptance benchmark for the compiled EASE execution engine.
+
+Runs the Table-5 benchmark suite (optimized, ``jumps`` replication — the
+configuration whose dynamic counts the paper reports) through both EASE
+execution engines and records the results in ``BENCH_EASE.json`` at the
+repository root:
+
+* **interp** — the closure interpreter
+  (:class:`repro.ease.interp.Interpreter`), one Python call per executed
+  RTL: the differential reference;
+* **compiled** — :class:`repro.ease.compile.CompiledInterpreter`, each
+  function translated once into a single Python code object (blocks
+  fused, registers as locals, compare/branch fusion, direct
+  compiled-to-compiled calls).
+
+Every benchmarked program doubles as a differential test: both engines
+run once traced and must agree on output, exit code, globals image,
+per-block execution counts, interpreted calls, *and* the compressed
+block-trace stream; the benchmark exits non-zero on any mismatch or on
+any per-function compile fallback.  Timings are best-of-``REPEATS``
+untraced runs; one-time translation cost is reported separately as
+``compile_seconds`` (it is paid once per program, not per run).
+
+The acceptance bar is a >=5x reduction in total EASE execution wall
+time across the suite.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ease_compile.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.benchsuite import PROGRAMS, program_names
+from repro.ease import CompiledInterpreter, Interpreter
+from repro.frontend import compile_c
+from repro.opt import OptimizationConfig, optimize_program
+from repro.targets import get_target
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Timing repetitions per engine; best-of-N suppresses scheduler noise.
+REPEATS = 3
+
+
+def optimized(name: str):
+    bench = PROGRAMS[name]
+    program = compile_c(bench.source)
+    optimize_program(
+        program, get_target("sparc"), OptimizationConfig(replication="jumps")
+    )
+    return program, bench.stdin
+
+
+def observe(interp, stdin):
+    result = interp.run(stdin=stdin, trace=True)
+    return {
+        "output": result.output,
+        "exit_code": result.exit_code,
+        "globals_image": result.globals_image,
+        "block_counts": dict(result.block_counts),
+        "calls_executed": result.calls_executed,
+        "trace": result.trace,
+    }
+
+
+def best_of(fn):
+    seconds = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        seconds.append(time.perf_counter() - start)
+    return min(seconds)
+
+
+def bench_case(name: str, parity_failures):
+    program, stdin = optimized(name)
+    reference = Interpreter(program)
+    compiled = CompiledInterpreter(program)
+
+    # --- parity gate (traced: the Table-6 stream must also match) ----
+    want = observe(reference, stdin)
+    got = observe(compiled, stdin)
+    for field in (
+        "output",
+        "exit_code",
+        "globals_image",
+        "block_counts",
+        "calls_executed",
+        "trace",
+    ):
+        if got[field] != want[field]:
+            parity_failures.append(f"{name}: {field} diverged")
+    for func, reason in compiled.fallbacks.items():
+        parity_failures.append(f"{name}: fallback {func}: {reason}")
+
+    # --- timing (untraced, the Table-5 measurement configuration) ----
+    interp_seconds = best_of(lambda: reference.run(stdin=stdin))
+    compiled_seconds = best_of(lambda: compiled.run(stdin=stdin))
+
+    return {
+        "program": name,
+        "interp_seconds": round(interp_seconds, 4),
+        "compiled_seconds": round(compiled_seconds, 4),
+        "speedup": round(interp_seconds / compiled_seconds, 2)
+        if compiled_seconds
+        else None,
+        "compile_seconds": round(compiled.compile_seconds, 4),
+        "compiled_functions": len(compiled.compiled_functions),
+        "blocks_fused": compiled.blocks_fused,
+        "fallbacks": dict(compiled.fallbacks),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI mode: 4 suite programs instead of the full suite",
+    )
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_EASE.json")
+    args = parser.parse_args()
+
+    programs = (
+        ["wc", "sieve", "queens", "quicksort"] if args.quick else program_names()
+    )
+    print(f"suite: {len(programs)} programs, best-of-{REPEATS} per engine")
+
+    parity_failures = []
+    cases = []
+    for name in programs:
+        case = bench_case(name, parity_failures)
+        cases.append(case)
+        print(
+            f"  {case['program']:>12}: interp {case['interp_seconds']:7.3f}s, "
+            f"compiled {case['compiled_seconds']:7.3f}s "
+            f"-> {case['speedup']}x "
+            f"(translate {case['compile_seconds']:.3f}s, "
+            f"{case['blocks_fused']} blocks fused)"
+        )
+
+    interp_total = sum(c["interp_seconds"] for c in cases)
+    compiled_total = sum(c["compiled_seconds"] for c in cases)
+    totals = {
+        "interp_seconds": round(interp_total, 3),
+        "compiled_seconds": round(compiled_total, 3),
+        "speedup": round(interp_total / compiled_total, 2)
+        if compiled_total
+        else None,
+        "compile_seconds": round(sum(c["compile_seconds"] for c in cases), 3),
+        "blocks_fused": sum(c["blocks_fused"] for c in cases),
+        "compiled_functions": sum(c["compiled_functions"] for c in cases),
+    }
+    print(
+        f"totals: interp {totals['interp_seconds']}s, "
+        f"compiled {totals['compiled_seconds']}s "
+        f"-> {totals['speedup']}x execution "
+        f"(one-time translation {totals['compile_seconds']}s)"
+    )
+
+    payload = {
+        "benchmark": "EASE execution: closure interpreter vs compiled engine",
+        "quick": args.quick,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "configuration": {"target": "sparc", "replication": "jumps"},
+        "repeats": REPEATS,
+        "programs": len(programs),
+        "cases": cases,
+        "totals": totals,
+        "parity": not parity_failures,
+        "parity_failures": parity_failures,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if parity_failures:
+        print("ENGINE PARITY FAILED:", "; ".join(parity_failures), file=sys.stderr)
+        raise SystemExit(1)
+    if not args.quick and totals["speedup"] is not None and totals["speedup"] < 5.0:
+        print(
+            f"WARNING: suite speedup {totals['speedup']}x below the 5x bar",
+            file=sys.stderr,
+        )
+
+
+if __name__ == "__main__":
+    main()

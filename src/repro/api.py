@@ -68,6 +68,7 @@ def compile_and_measure(
     max_steps: int = 200_000_000,
     spm_engine: Optional[str] = None,
     verify: Optional[str] = None,
+    ease_engine: Optional[str] = None,
 ) -> CompilationResult:
     """Compile, optimize, run and measure one program.
 
@@ -88,6 +89,11 @@ def compile_and_measure(
         plus the differential execution oracle with pass bisection);
         ``None`` defers to the ``REPRO_VERIFY`` environment variable.
         Failures raise :class:`repro.verify.VerificationError`.
+    :param ease_engine: measurement execution engine: ``"compiled"``
+        (RTL compiled to Python code objects) or ``"interp"`` (the
+        closure interpreter, the differential reference); ``None``
+        defers to ``REPRO_EASE_ENGINE``, then the compiled default.
+        Both engines are parity-gated to identical results.
     """
     if source_or_benchmark in PROGRAMS:
         bench = PROGRAMS[source_or_benchmark]
@@ -117,7 +123,12 @@ def compile_and_measure(
     )
     stats = optimize_program(program, target, config, verifier=verifier)
     measurement = measure_program(
-        program, target, stdin=stdin, trace=trace, max_steps=max_steps
+        program,
+        target,
+        stdin=stdin,
+        trace=trace,
+        max_steps=max_steps,
+        engine=ease_engine,
     )
     return CompilationResult(
         program,

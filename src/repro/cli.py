@@ -97,6 +97,14 @@ def _config_arguments(parser: argparse.ArgumentParser) -> None:
         "pass bisection (default: off, or REPRO_VERIFY)",
     )
     parser.add_argument(
+        "--ease-engine",
+        choices=["compiled", "interp"],
+        default=None,
+        help="measurement execution engine (default: compiled, or "
+        "REPRO_EASE_ENGINE; interp is the closure-interpreter "
+        "differential reference)",
+    )
+    parser.add_argument(
         "--stdin",
         type=Path,
         default=None,
@@ -140,6 +148,7 @@ def _measure(args, replication: Optional[str] = None, trace: bool = False):
         trace=trace,
         spm_engine=args.spm_engine,
         verify=args.verify,
+        ease_engine=args.ease_engine,
     )
 
 
@@ -371,6 +380,7 @@ def cmd_bench(args) -> int:
             trace=args.trace,
             spm_engine=args.spm_engine,
             verify=args.verify,
+            ease_engine=args.ease_engine,
         )
         for target in args.targets
         for config in args.configs
@@ -450,9 +460,15 @@ def cmd_bench(args) -> int:
         print(format_pass_table(instrumentation.aggregate()))
 
     if args.json is not None:
+        from .ease.compile import resolve_ease_engine
+
         payload = {
             "machine": {"cpu_count": os.cpu_count()},
             "workers": runner.workers,
+            # The resolved measurement engine for this invocation; each
+            # cell additionally carries the engine that actually
+            # produced its (possibly cached) measurement.
+            "ease_engine": resolve_ease_engine(args.ease_engine),
             "elapsed_seconds": elapsed,
             "cache": cache.stats() if cache is not None else None,
             # Aggregated over fresh (non-cache-hit) cells only.
@@ -470,6 +486,11 @@ def cmd_bench(args) -> int:
                     "dynamic_jumps": r.measurement.dynamic_jumps if r.ok else None,
                     "dynamic_nops": r.measurement.dynamic_nops if r.ok else None,
                     "code_bytes": r.measurement.code_bytes if r.ok else None,
+                    "ease_engine": (
+                        getattr(r.measurement, "ease_engine", "interp")
+                        if r.ok
+                        else None
+                    ),
                     "compile_seconds": r.compile_seconds,
                     "optimize_seconds": r.optimize_seconds,
                     "measure_seconds": r.measure_seconds,
@@ -663,6 +684,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["lazy", "dense"],
         default=None,
         help="step-1 shortest-path engine (default: lazy)",
+    )
+    p.add_argument(
+        "--ease-engine",
+        choices=["compiled", "interp"],
+        default=None,
+        help="EASE execution engine "
+        "(default: compiled, or REPRO_EASE_ENGINE)",
     )
     p.add_argument(
         "--trace",

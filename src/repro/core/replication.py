@@ -81,6 +81,11 @@ class ReplicationStats:
     rtls_replicated: int = 0
     rollbacks: int = 0
     jumps_kept: int = 0
+    #: Times a safety valve ended a run early (the function grew to
+    #: ``max_function_blocks``, or the per-run replication budget ran
+    #: out mid-progress).  A non-zero count means remaining jumps are a
+    #: bounded-growth artifact, not an algorithmic leftover.
+    valve_trips: int = 0
 
     def merge(self, other: "ReplicationStats") -> None:
         for spec in fields(self):
@@ -168,6 +173,9 @@ class CodeReplicator:
         sweep = 0
         while progress and budget > 0:
             if len(func.blocks) >= self.max_function_blocks:
+                stats.valve_trips += 1
+                if obs is not None:
+                    obs.metrics.inc("replication.valve_trips")
                 break
             progress = False
             sweep += 1
@@ -203,6 +211,12 @@ class CodeReplicator:
                     position += 1
             if self.after_sweep is not None:
                 self.after_sweep(func, sweep)
+        if progress and budget <= 0:
+            # The replication budget ran out while sweeps were still
+            # finding work — the cascade valve, not a fixpoint.
+            stats.valve_trips += 1
+            if obs is not None:
+                obs.metrics.inc("replication.valve_trips")
         return stats
 
     # ----------------------------------------------------------- jump handling

@@ -1,5 +1,12 @@
-"""EASE-like measurement: RTL interpreter, runtime, and counting."""
+"""EASE-like measurement: RTL interpreter, compiled engine, and counting."""
 
+from .compile import (
+    DEFAULT_EASE_ENGINE,
+    EASE_ENGINES,
+    CompiledInterpreter,
+    make_interpreter,
+    resolve_ease_engine,
+)
 from .interp import ExecutionResult, Interpreter, MachineState, StepLimitExceeded
 from .measure import Measurement, measure_program
 from .pipeline import (
@@ -11,6 +18,11 @@ from .pipeline import (
 from .runtime import ProgramExit, is_builtin
 
 __all__ = [
+    "DEFAULT_EASE_ENGINE",
+    "EASE_ENGINES",
+    "CompiledInterpreter",
+    "make_interpreter",
+    "resolve_ease_engine",
     "ExecutionResult",
     "Interpreter",
     "MachineState",

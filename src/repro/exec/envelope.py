@@ -33,7 +33,11 @@ __all__ = ["CellSpec", "CellResult", "CACHE_SCHEMA_VERSION"]
 #: (the translation-validation subsystem); verified runs bypass the
 #: cache entirely, but old envelopes lacking the new fields must not
 #: resurface.
-CACHE_SCHEMA_VERSION = 5
+#: v6: CellSpec grew ``ease_engine`` (the measurement execution engine)
+#: and measurements carry an ``ease_engine`` provenance field; the
+#: engines are parity-gated but differ in timing, so pre-engine
+#: envelopes must not shadow engine-tagged ones.
+CACHE_SCHEMA_VERSION = 6
 
 
 @dataclass(frozen=True)
@@ -67,6 +71,13 @@ class CellSpec:
     #: engines differ in timing/metrics, so the engine is part of the
     #: cache key — a dense differential run never shadows a lazy one.
     spm_engine: Optional[str] = None
+    #: Measurement execution engine ("compiled" / "interp"; ``None`` =
+    #: default, i.e. ``REPRO_EASE_ENGINE`` or compiled).  Engine parity
+    #: makes the *counts* engine-independent, but the engines differ in
+    #: wall time (``measure_seconds``), so the engine is part of the
+    #: cache key — an interpreter differential run never shadows a
+    #: compiled one.
+    ease_engine: Optional[str] = None
     #: Translation-validation mode ("off" / "sanitize" / "full");
     #: ``None`` defers to ``REPRO_VERIFY``.  A cell whose effective mode
     #: is not "off" bypasses the result cache in both directions: a

@@ -111,7 +111,11 @@ def execute_cell(spec: CellSpec) -> CellResult:
 
             start = perf_counter()
             result.measurement = measure_program(
-                program, target, stdin=stdin, trace=spec.trace
+                program,
+                target,
+                stdin=stdin,
+                trace=spec.trace,
+                engine=spec.ease_engine,
             )
             result.measure_seconds = perf_counter() - start
     except BaseException:

@@ -1,0 +1,218 @@
+"""The JUMPS safety valves on cascading flow graphs.
+
+Fuzzed goto/switch-into-loop shapes can make unbounded replication
+cascade: every sweep's copies manufacture fresh unconditional jumps for
+the next sweep ("replication ad infinitum", §5.2).  Two valves bound the
+growth — the ``max_function_blocks`` cap and the per-run replication
+budget — and :class:`repro.core.replication.ReplicationStats` counts
+their trips in ``valve_trips`` so callers can tell a bounded-growth
+leftover from an algorithmic one.
+
+The fuzz campaign (``repro fuzz``) runs with the §6 ``max_rtls=64``
+bound precisely to stay clear of the valve on such shapes; the tests
+here pin both halves of that contract.
+"""
+
+from repro.core.replication import (
+    CodeReplicator,
+    Policy,
+    ReplicationMode,
+    ReplicationStats,
+    clone_function,
+)
+from repro.frontend.codegen import compile_c
+from repro.opt.driver import OptimizationConfig, optimize_program
+from repro.targets.machine import get_target
+
+# ``repro.verify.fuzz.generate_program(10)``: a switch inside a nested
+# loop followed by a guarded goto.  Unbounded JUMPS replication cascades
+# on this shape; the §6 bound converges quickly.
+CASCADING_SOURCE = """int main() {
+    int a, b, c, d;
+    int i0;
+    int i1;
+    int i2;
+    a = 6;
+    b = -18;
+    c = -20;
+    d = 8;
+    d = 9;
+    i0 = 0;
+    do {
+        i0 = i0 + 1;
+        break;
+    } while (i0 < 3);
+    d += 45;
+    for (i1 = 0; i1 < 1; i1++) {
+        i2 = 0;
+        while (i2 < 2) {
+            i2 = i2 + 1;
+            switch (c & 7) {
+            case 0:
+                c = (c | b);
+                break;
+            case 1:
+                d = -33;
+                break;
+            case 2:
+                c = (d & c);
+                break;
+            default:
+                b = (-12 << 1);
+            }
+        }
+    }
+    if (!((b > b) || ((((b | b) * (c >> 6)) * a) > (b & b)))) {
+        goto L0;
+    }
+        b = b;
+    L0: a = a;
+    printf("%d %d %d %d\\n", a, b, c, d);
+    return (a ^ b ^ c ^ d) & 255;
+}
+"""
+
+# The hypothesis-found goto-into-do-while shape whose cascade exhausts
+# the replication *budget* (not the block cap) inside the full pipeline.
+BUDGET_CASCADE_SOURCE = """int main() {
+    int a, b, c, d;
+    int i0;
+    int i1;
+    a = 10;
+    b = 19;
+    c = -9;
+    d = -18;
+    for (i0 = 0; i0 < 5; i0++) {
+        i1 = 0;
+        do {
+            i1 = i1 + 1;
+            if (((d * -40) == 32) || (!(-43 > -18))) {
+                goto L0;
+            }
+                d = -31;
+            L0: c = c;
+        } while (i1 < 3);
+    }
+    printf("%d %d %d %d\\n", a, b, c, d);
+    return (a ^ b ^ c ^ d) & 255;
+}
+"""
+
+
+def _main_function(source):
+    program = compile_c(source)
+    return program.functions["main"]
+
+
+class TestBlockValve:
+    def test_unbounded_replication_trips_the_block_valve(self):
+        # A reduced cap keeps the test fast; the code path is the same
+        # one the 4000-block production valve takes.
+        func = _main_function(CASCADING_SOURCE)
+        replicator = CodeReplicator(
+            mode=ReplicationMode.JUMPS,
+            policy=Policy.SHORTEST,
+            max_rtls=None,
+            max_function_blocks=400,
+        )
+        stats = replicator.run(func)
+        assert stats.valve_trips >= 1
+        assert len(func.blocks) >= 400
+
+    def test_campaign_max_rtls_bound_avoids_the_valve(self):
+        # The fuzz campaign's §6 bound: same shape, same cap, but the
+        # sequence-length limit converges well under the valve.
+        func = _main_function(CASCADING_SOURCE)
+        replicator = CodeReplicator(
+            mode=ReplicationMode.JUMPS,
+            policy=Policy.SHORTEST,
+            max_rtls=64,
+            max_function_blocks=400,
+        )
+        stats = replicator.run(func)
+        assert stats.valve_trips == 0
+        assert len(func.blocks) < 400
+
+    def test_valve_stops_growth_not_correctness(self):
+        # The valve may leave unconditional jumps behind; it must never
+        # corrupt the graph.  The tripped function still has every jump
+        # target resolvable.
+        func = _main_function(CASCADING_SOURCE)
+        replicator = CodeReplicator(
+            mode=ReplicationMode.JUMPS,
+            max_rtls=None,
+            max_function_blocks=400,
+        )
+        replicator.run(func)
+        from repro.rtl.insn import Jump
+
+        for block in func.blocks:
+            term = block.terminator
+            if isinstance(term, Jump):
+                func.block_by_label(term.target)  # raises KeyError if broken
+
+
+class TestBudgetValve:
+    def test_pipeline_budget_valve_reports_in_stats(self):
+        # Through the full optimizer: each replication pass invocation
+        # re-arms the budget, and the cascade exhausts it repeatedly.
+        # The merged stats must say so — this is what lets the fuzz
+        # property suite distinguish a valve leftover from a JUMPS bug.
+        program = compile_c(BUDGET_CASCADE_SOURCE)
+        stats = optimize_program(
+            program,
+            get_target("sparc"),
+            OptimizationConfig(replication="jumps"),
+        )
+        assert stats.valve_trips >= 1
+
+    def test_budget_exhaustion_counts_once_per_run(self):
+        func = _main_function(CASCADING_SOURCE)
+        replicator = CodeReplicator(
+            mode=ReplicationMode.JUMPS,
+            max_rtls=None,
+            max_replications_per_function=10,
+        )
+        stats = replicator.run(func)
+        assert stats.jumps_replaced == 10
+        assert stats.valve_trips == 1
+
+    def test_fixpoint_run_has_no_valve_trips(self):
+        # A benign program reaches the fixpoint without tripping.
+        func = _main_function(
+            "int main() { int i; int s; s = 0;"
+            " for (i = 0; i < 4; i++) { s = s + i; }"
+            " return s; }"
+        )
+        replicator = CodeReplicator(mode=ReplicationMode.JUMPS)
+        stats = replicator.run(func)
+        assert stats.valve_trips == 0
+
+
+class TestStatsPlumbing:
+    def test_valve_trips_merges(self):
+        a = ReplicationStats(valve_trips=2)
+        b = ReplicationStats(valve_trips=3)
+        a.merge(b)
+        assert a.valve_trips == 5
+
+    def test_valve_trips_in_as_dict(self):
+        assert ReplicationStats().as_dict()["valve_trips"] == 0
+
+    def test_clone_preserves_cascade_determinism(self):
+        # Valve behavior is deterministic: two clones of the same
+        # function trip identically.
+        func = _main_function(CASCADING_SOURCE)
+        runs = []
+        for _ in range(2):
+            clone = clone_function(func)
+            replicator = CodeReplicator(
+                mode=ReplicationMode.JUMPS,
+                max_rtls=None,
+                max_function_blocks=400,
+            )
+            stats = replicator.run(clone)
+            runs.append(
+                (stats.valve_trips, stats.jumps_replaced, len(clone.blocks))
+            )
+        assert runs[0] == runs[1]

@@ -197,10 +197,13 @@ class TestRandomPrograms:
         from repro.targets import get_target
 
         program = compile_c(source)
-        optimize_program(
+        stats = optimize_program(
             program, get_target("sparc"), OptimizationConfig(replication="jumps")
         )
         # Indirect-jump-adjacent and irreducibility leftovers are allowed;
-        # programs without switches should reach zero.
-        if "switch" not in source:
+        # programs without switches should reach zero — unless a safety
+        # valve (block cap / replication budget) legitimately stopped a
+        # cascading shape early, which goto-into-loop programs can force
+        # (see tests/core/test_replication_valve.py).
+        if "switch" not in source and stats.valve_trips == 0:
             assert program.jump_count() == 0
