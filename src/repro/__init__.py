@@ -26,6 +26,11 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from .api import CompilationResult, compile_and_measure
+from .api import CompilationResult, compile_and_measure, measure_cells
 
-__all__ = ["CompilationResult", "compile_and_measure", "__version__"]
+__all__ = [
+    "CompilationResult",
+    "compile_and_measure",
+    "measure_cells",
+    "__version__",
+]

@@ -152,13 +152,15 @@ def run_benchmark(
     if disk is not None:
         result = disk.get_spec(spec)
     if result is None:
-        result = execute_cell(spec)
-        if disk is not None and result.ok:
-            disk.put_spec(spec, result)
+        # single_flight dedups against concurrent processes computing
+        # the same cold key (and publishes the envelope on success).
+        from ..exec.singleflight import single_flight
+
+        result, fresh = single_flight(disk, spec, execute_cell)
         # Fresh run: fold the cell's observability snapshot into the
         # ambient observer (cache hits describe an earlier run's work).
         observer = _active_observer()
-        if observer is not None and result.obs is not None:
+        if fresh and observer is not None and result.obs is not None:
             observer.merge_snapshot(result.obs)
     measurement = _unwrap(result)
     if use_cache:
@@ -188,13 +190,16 @@ def run_matrix(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     use_memo: bool = True,
+    server: Optional[str] = None,
 ) -> Dict[Tuple[str, str, str], Measurement]:
     """Measure the full (target × config × program) cross-product.
 
     Fans out over ``workers`` processes (``None`` = one per core,
     ``0``/``1`` = inline) through the optional persistent ``cache``,
     and seeds the in-process memo so later :func:`run_benchmark` calls
-    on the same cells are free.  Returns ``{(target, config, name):
+    on the same cells are free.  ``server`` routes the cells through a
+    running ``repro serve`` daemon instead (falling back to the local
+    path when none is listening).  Returns ``{(target, config, name):
     Measurement}`` — the shape the Table 4/5/6 harnesses consume.
     Raises ``RuntimeError`` listing every failed cell, if any.
     """
@@ -222,9 +227,13 @@ def run_matrix(
             pending_specs.append(spec)
             pending_keys.append(matrix_key)
 
-    runner = ParallelRunner(workers=workers, cache=disk)
+    from ..api import measure_cells
+
+    cell_results = measure_cells(
+        pending_specs, workers=workers, cache=disk, server=server
+    )
     failures: List[str] = []
-    for matrix_key, result in zip(pending_keys, runner.run(pending_specs)):
+    for matrix_key, result in zip(pending_keys, cell_results):
         if not result.ok:
             failures.append(f"{result.spec.label}:\n{result.error}")
             continue

@@ -7,12 +7,18 @@ Commands
 ``run``       compile, optimize, execute; print the program output
 ``measure``   print the measurement summary (counts, jumps, no-ops)
 ``compare``   SIMPLE / LOOPS / JUMPS side by side for one program
-``cache``     instruction-cache sweep for one program
+``cache``     instruction-cache sweep for one program; ``cache stats`` /
+              ``cache gc`` maintain the persistent result cache
 ``stats``     static-analysis census (instruction mix, loops, jumps)
 ``dot``       Graphviz DOT rendering of the control-flow graphs
 ``list``      list the Table-3 benchmark programs
 ``bench``     run the (program × target × config) evaluation matrix in
-              parallel through the persistent result cache
+              parallel through the persistent result cache; ``--server``
+              routes it through a running daemon instead
+``serve``     run the compilation-as-a-service job daemon (coalescing,
+              single-flight caching, sharded matrix scheduling)
+``submit``    submit one cell to the daemon (``--detach`` for fire and
+              forget); ``await`` collects a detached job later
 ``trace``     render the digest of a JSONL observability trace
 ``fuzz``      fuzz generated programs through the optimizer under the
               translation validator (CI's verify-smoke job)
@@ -226,8 +232,109 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _parse_size(text: str) -> int:
+    """A byte count with an optional K/M/G suffix (``"64M"`` → bytes)."""
+    text = text.strip().upper().removesuffix("B")
+    factor = 1
+    for suffix, mult in (("K", 1024), ("M", 1024**2), ("G", 1024**3)):
+        if text.endswith(suffix):
+            text, factor = text[: -len(suffix)], mult
+            break
+    try:
+        return int(float(text) * factor)
+    except ValueError:
+        raise SystemExit(f"error: unparseable size {text!r}") from None
+
+
+def _parse_age(text: str) -> float:
+    """Seconds with an optional s/m/h/d suffix (``"7d"`` → seconds)."""
+    text = text.strip().lower()
+    factor = 1.0
+    for suffix, mult in (("s", 1.0), ("m", 60.0), ("h", 3600.0), ("d", 86400.0)):
+        if text.endswith(suffix):
+            text, factor = text[: -len(suffix)], mult
+            break
+    try:
+        return float(text) * factor
+    except ValueError:
+        raise SystemExit(f"error: unparseable age {text!r}") from None
+
+
+def _human_bytes(count: Optional[float]) -> str:
+    if count is None:
+        return "-"
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024 or unit == "GB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{value:.1f}GB"  # pragma: no cover - unreachable
+
+
+def _cmd_cache_maintenance(args) -> int:
+    """``repro cache stats`` / ``repro cache gc`` over the result cache."""
+    import time as _time
+
+    from .exec import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.program == "stats":
+        info = cache.disk_stats()
+        now = _time.time()
+        rows = [
+            ["root", info["root"]],
+            ["schema version", f"v{info['schema_version']} (current)"],
+            ["entries", info["entries"]],
+            ["bytes", _human_bytes(info["bytes"])],
+            [
+                "oldest entry",
+                f"{(now - info['oldest_mtime']) / 3600:.1f}h ago"
+                if info["oldest_mtime"]
+                else "-",
+            ],
+            [
+                "newest entry",
+                f"{(now - info['newest_mtime']) / 60:.1f}m ago"
+                if info["newest_mtime"]
+                else "-",
+            ],
+        ]
+        for version, bucket in sorted(info["versions"].items()):
+            rows.append(
+                [
+                    f"  {version}",
+                    f"{bucket['entries']} entries, "
+                    f"{_human_bytes(bucket['bytes'])}",
+                ]
+            )
+        print(format_table(["cache", "value"], rows))
+        return 0
+
+    # gc
+    if args.max_bytes is None and args.max_age is None:
+        raise SystemExit(
+            "error: repro cache gc needs --max-bytes and/or --max-age"
+        )
+    report = cache.gc(
+        max_bytes=_parse_size(args.max_bytes) if args.max_bytes else None,
+        max_age=_parse_age(args.max_age) if args.max_age else None,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if report["dry_run"] else "removed"
+    print(
+        f"{verb} {report['removed']} of {report['examined']} entries "
+        f"({_human_bytes(report['freed_bytes'])} freed, "
+        f"{report['remaining_entries']} entries / "
+        f"{_human_bytes(report['remaining_bytes'])} kept, "
+        f"{report['tmp_removed']} stale tmp files)"
+    )
+    return 0
+
+
 def cmd_cache(args) -> int:
-    """Run the instruction-cache sweep."""
+    """Instruction-cache sweep, or result-cache gc/stats maintenance."""
+    if args.program in ("gc", "stats"):
+        return _cmd_cache_maintenance(args)
     from .cache import resolve_cachesim_engine, simulate_multi_cache
 
     result = _measure(args, trace=True)
@@ -386,9 +493,6 @@ def cmd_bench(args) -> int:
         for config in args.configs
         for name in names
     ]
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = ParallelRunner(workers=args.parallel, cache=cache)
-
     done = [0]
 
     def progress(result) -> None:
@@ -399,8 +503,31 @@ def cmd_bench(args) -> int:
             file=sys.stderr,
         )
 
+    on_result = progress if not args.quiet else None
+    cache = None
+    runner = None
+    served_stats = None
+    client = None
+    if args.server is not None:
+        from .serve import ServeClient
+
+        client = ServeClient.try_connect(args.server)
+        if client is None:
+            print(
+                f"warning: no daemon listening on {args.server}; "
+                "falling back to local execution",
+                file=sys.stderr,
+            )
+
     start = time.perf_counter()
-    results = runner.run(specs, on_result=progress if not args.quiet else None)
+    if client is not None:
+        with client:
+            results = client.run_matrix(specs, on_result=on_result)
+            served_stats = client.stats()
+    else:
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        runner = ParallelRunner(workers=args.parallel, cache=cache)
+        results = runner.run(specs, on_result=on_result)
     elapsed = time.perf_counter() - start
 
     from .obs.metrics import MetricsRegistry
@@ -449,10 +576,20 @@ def cmd_bench(args) -> int:
         )
     )
     hits = sum(1 for r in results if r.cache_hit)
+    workers = served_stats["workers"] if served_stats is not None else runner.workers
+    where = "daemon workers" if served_stats is not None else "workers"
     print(
         f"\n{len(results)} cells in {elapsed:.2f}s "
-        f"({runner.workers} workers, {hits} cache hits, {len(failures)} failed)"
+        f"({workers} {where}, {hits} cache hits, {len(failures)} failed)"
     )
+    if served_stats is not None:
+        jobs = served_stats["jobs"]
+        print(
+            f"daemon: {jobs['submitted']} submitted, {jobs['coalesced']} "
+            f"coalesced, {jobs['skipped']} cache-skipped, "
+            f"{jobs['sharded']} sharded, queue depth "
+            f"{served_stats['queue_depth']}"
+        )
     if cache is not None:
         print(format_cache_stats(cache.stats()))
     if args.passes and instrumentation.records:
@@ -464,7 +601,13 @@ def cmd_bench(args) -> int:
 
         payload = {
             "machine": {"cpu_count": os.cpu_count()},
-            "workers": runner.workers,
+            "workers": workers,
+            "server": {
+                "socket": args.server,
+                "stats": served_stats,
+            }
+            if served_stats is not None
+            else None,
             # The resolved measurement engine for this invocation; each
             # cell additionally carries the engine that actually
             # produced its (possibly cached) measurement.
@@ -565,6 +708,115 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the compilation-and-measurement job daemon."""
+    import asyncio
+
+    from .serve import ServeDaemon
+
+    daemon = ServeDaemon(
+        socket_path=args.socket,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        prewarm=not args.no_prewarm,
+    )
+    asyncio.run(daemon.run())
+    return 0
+
+
+def _spec_from_args(args) -> "CellSpec":
+    from .exec import CellSpec
+
+    source, stdin = _resolve(args)
+    return CellSpec(
+        program=source,
+        target=args.target,
+        replication=args.replication,
+        policy=args.policy,
+        max_rtls=args.max_rtls,
+        trace=args.trace_blocks,
+        stdin=stdin,
+        spm_engine=args.spm_engine,
+        verify=args.verify,
+        ease_engine=args.ease_engine,
+    )
+
+
+def _print_cell_result(result) -> int:
+    if not result.ok:
+        print(f"--- {result.spec.label} failed ---", file=sys.stderr)
+        print(result.error, file=sys.stderr)
+        return 1
+    m = result.measurement
+    origin = "cached" if result.cache_hit else "fresh"
+    print(
+        f"{result.spec.label}: exit {m.exit_code}, "
+        f"{m.dynamic_insns} instructions, {m.dynamic_jumps} jumps, "
+        f"{m.dynamic_nops} no-ops ({origin})"
+    )
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit one cell to the daemon (or run it locally as fallback)."""
+    from .serve import ServeClient
+
+    spec = _spec_from_args(args)
+    client = ServeClient.try_connect(args.server)
+    if client is None:
+        if args.detach:
+            raise SystemExit(
+                f"error: no daemon listening on {args.server} "
+                "(--detach needs a daemon)"
+            )
+        print(
+            f"warning: no daemon listening on {args.server}; "
+            "running locally",
+            file=sys.stderr,
+        )
+        from .exec import execute_cell
+
+        return _print_cell_result(execute_cell(spec))
+    with client:
+        descriptor = client.submit(spec)
+        state = descriptor["state"]
+        note = " (coalesced)" if descriptor.get("coalesced") else ""
+        print(
+            f"job {descriptor['job']} [{descriptor['key'][:16]}] "
+            f"{state}{note}",
+            file=sys.stderr,
+        )
+        if args.detach:
+            print(descriptor["job"])
+            return 0
+        result = client.result(
+            descriptor["job"], wait=True, timeout=args.timeout
+        )
+    if result is None:
+        print(f"job {descriptor['job']} was cancelled", file=sys.stderr)
+        return 1
+    return _print_cell_result(result)
+
+
+def cmd_await(args) -> int:
+    """Wait for a previously submitted daemon job and print its result."""
+    from .serve import ServeClient, ServeError
+
+    client = ServeClient.try_connect(args.server)
+    if client is None:
+        raise SystemExit(f"error: no daemon listening on {args.server}")
+    with client:
+        try:
+            result = client.result(args.job, wait=True, timeout=args.timeout)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    if result is None:
+        print(f"job {args.job} was cancelled", file=sys.stderr)
+        return 1
+    return _print_cell_result(result)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -594,9 +846,36 @@ def build_parser() -> argparse.ArgumentParser:
     _config_arguments(p)
     p.set_defaults(func=cmd_compare)
 
-    p = sub.add_parser("cache", help="instruction-cache sweep")
+    p = sub.add_parser(
+        "cache",
+        help="instruction-cache sweep for a program, or result-cache "
+        "maintenance (`repro cache stats`, `repro cache gc`)",
+    )
     _source_argument(p)
     _config_arguments(p)
+    p.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="result cache directory for gc/stats (default: .repro-cache)",
+    )
+    p.add_argument(
+        "--max-bytes",
+        default=None,
+        metavar="SIZE",
+        help="gc: evict least-recently-used entries until the cache fits "
+        "SIZE (suffixes K/M/G)",
+    )
+    p.add_argument(
+        "--max-age",
+        default=None,
+        metavar="AGE",
+        help="gc: evict entries older than AGE (suffixes s/m/h/d)",
+    )
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="gc: report what would be evicted without removing anything",
+    )
     p.add_argument(
         "--sizes",
         type=int,
@@ -715,6 +994,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress on stderr"
     )
+    p.add_argument(
+        "--server",
+        default=None,
+        metavar="SOCK",
+        help="route cells through the `repro serve` daemon on this Unix "
+        "socket (falls back to local execution when none is listening)",
+    )
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -776,6 +1062,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL trace written by --trace FILE or REPRO_TRACE=FILE",
     )
     p.set_defaults(func=cmd_trace)
+
+    from .serve.server import DEFAULT_SOCKET
+
+    p = sub.add_parser(
+        "serve",
+        help="run the compilation-and-measurement job daemon "
+        "(Unix-socket JSON-line protocol)",
+    )
+    p.add_argument(
+        "--socket",
+        default=DEFAULT_SOCKET,
+        metavar="SOCK",
+        help=f"Unix socket path (default: {DEFAULT_SOCKET})",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="warm worker processes (default: one per core)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="persistent result cache directory (default: .repro-cache)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without the persistent cache (coalescing still applies)",
+    )
+    p.add_argument(
+        "--no-prewarm",
+        action="store_true",
+        help="skip the worker prewarm probes at startup",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit one cell to the `repro serve` daemon"
+    )
+    _source_argument(p)
+    _config_arguments(p)
+    p.add_argument(
+        "--trace-blocks",
+        action="store_true",
+        help="record the block trace (needed for cache simulation)",
+    )
+    p.add_argument(
+        "--server",
+        default=DEFAULT_SOCKET,
+        metavar="SOCK",
+        help=f"daemon socket (default: {DEFAULT_SOCKET})",
+    )
+    p.add_argument(
+        "--detach",
+        action="store_true",
+        help="print the job id and exit without waiting "
+        "(collect with `repro await`)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up waiting after this long (default: wait forever)",
+    )
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser(
+        "await", help="wait for a daemon job submitted with --detach"
+    )
+    p.add_argument("job", help="job id printed by `repro submit --detach`")
+    p.add_argument(
+        "--server",
+        default=DEFAULT_SOCKET,
+        metavar="SOCK",
+        help=f"daemon socket (default: {DEFAULT_SOCKET})",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="give up waiting after this long (default: wait forever)",
+    )
+    p.set_defaults(func=cmd_await)
 
     return parser
 

@@ -13,7 +13,8 @@ the matrix the unit of work:
 
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .envelope import CACHE_SCHEMA_VERSION, CellResult, CellSpec
-from .runner import ParallelRunner, default_worker_count, execute_cell
+from .runner import ParallelRunner, default_worker_count, execute_cell, warm_worker
+from .singleflight import SingleFlight, single_flight
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -22,6 +23,9 @@ __all__ = [
     "CellSpec",
     "ParallelRunner",
     "ResultCache",
+    "SingleFlight",
     "default_worker_count",
     "execute_cell",
+    "single_flight",
+    "warm_worker",
 ]

@@ -30,6 +30,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Iterator, Optional
 
@@ -190,4 +191,134 @@ class ResultCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "writes": self.writes,
+        }
+
+    # --- garbage collection ---------------------------------------------------
+
+    def _all_entries(self) -> Iterator[Path]:
+        """Every entry across *all* schema versions (gc sweeps old ones too)."""
+        if not self.root.is_dir():
+            return
+        for version_dir in sorted(self.root.glob("v*")):
+            if version_dir.is_dir():
+                yield from sorted(version_dir.glob("*/*.pkl"))
+
+    def disk_stats(self) -> dict:
+        """On-disk census: entries, bytes and age range, per schema version.
+
+        Unstatable files (racing gc, permissions) are skipped, never
+        fatal — the cache directory is shared with concurrent writers.
+        """
+        per_version: dict = {}
+        total_bytes = 0
+        total_entries = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for path in self._all_entries():
+            try:
+                info = path.stat()
+            except OSError:
+                continue
+            version = path.parent.parent.name
+            bucket = per_version.setdefault(version, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += info.st_size
+            total_entries += 1
+            total_bytes += info.st_size
+            oldest = info.st_mtime if oldest is None else min(oldest, info.st_mtime)
+            newest = info.st_mtime if newest is None else max(newest, info.st_mtime)
+        return {
+            "root": str(self.root),
+            "schema_version": self.schema_version,
+            "entries": total_entries,
+            "bytes": total_bytes,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+            "versions": per_version,
+        }
+
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age: Optional[float] = None,
+        dry_run: bool = False,
+        now: Optional[float] = None,
+    ) -> dict:
+        """LRU-by-mtime eviction over the whole cache directory.
+
+        Two independent policies, either or both:
+
+        * ``max_age`` (seconds): every entry older than this goes;
+        * ``max_bytes``: after the age sweep, the oldest surviving
+          entries go until the total fits the budget.
+
+        mtime is the recency signal (entries are write-once; a re-write
+        of the same key refreshes it), so eviction order is
+        oldest-first.  Stale ``.tmp`` droppings from crashed writers and
+        unreadable/undeletable entries are tolerated: failures are
+        counted, never raised.  Returns a report dict.
+        """
+        clock = time.time() if now is None else now
+        entries = []
+        for path in self._all_entries():
+            try:
+                info = path.stat()
+            except OSError:
+                continue
+            entries.append((info.st_mtime, info.st_size, path))
+        entries.sort()  # oldest first
+
+        removed = []
+        failed = 0
+        survivors_bytes = sum(size for _, size, _ in entries)
+
+        def _evict(mtime: float, size: int, path: Path, reason: str) -> int:
+            nonlocal failed
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    failed += 1
+                    return 0
+            removed.append({"path": str(path), "bytes": size, "reason": reason})
+            return size
+
+        survivors = []
+        for mtime, size, path in entries:
+            if max_age is not None and clock - mtime > max_age:
+                survivors_bytes -= _evict(mtime, size, path, "age")
+            else:
+                survivors.append((mtime, size, path))
+        if max_bytes is not None:
+            for mtime, size, path in survivors:
+                if survivors_bytes <= max_bytes:
+                    break
+                survivors_bytes -= _evict(mtime, size, path, "bytes")
+
+        # Orphaned temporary files: a writer that died between mkstemp
+        # and os.replace leaves a .tmp behind; anything older than an
+        # hour cannot still be in flight.
+        tmp_removed = 0
+        if self.root.is_dir():
+            for tmp in self.root.glob("v*/*/.*.tmp"):
+                try:
+                    if clock - tmp.stat().st_mtime > 3600:
+                        if not dry_run:
+                            tmp.unlink()
+                        tmp_removed += 1
+                except OSError:
+                    failed += 1
+        freed = sum(item["bytes"] for item in removed)
+        if removed and not dry_run:
+            self.evictions += len(removed)
+        return {
+            "examined": len(entries),
+            "removed": len(removed),
+            "freed_bytes": freed,
+            "remaining_entries": len(entries) - len(removed),
+            "remaining_bytes": survivors_bytes,
+            "tmp_removed": tmp_removed,
+            "unlink_failures": failed,
+            "dry_run": dry_run,
+            "entries": removed,
         }

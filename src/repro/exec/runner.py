@@ -24,7 +24,12 @@ from typing import Callable, Dict, List, Optional, Sequence
 from .cache import ResultCache
 from .envelope import CellResult, CellSpec
 
-__all__ = ["ParallelRunner", "execute_cell", "default_worker_count"]
+__all__ = [
+    "ParallelRunner",
+    "execute_cell",
+    "default_worker_count",
+    "warm_worker",
+]
 
 
 def default_worker_count() -> int:
@@ -33,6 +38,24 @@ def default_worker_count() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+def warm_worker(target_names: Sequence[str] = ("sparc", "m68020")) -> None:
+    """Process-pool initializer: pre-construct per-worker shared state.
+
+    Runs once per worker process, not once per cell: machine
+    descriptions are built here and memoized (every later
+    ``get_target`` in this worker is a ``targets.machine.reused`` hit),
+    and the import of the full toolchain — front end, optimizer, EASE
+    engines — is paid before the first job instead of inside it.
+    """
+    from ..ease.measure import measure_program  # noqa: F401 (import warm-up)
+    from ..frontend.codegen import compile_c  # noqa: F401
+    from ..opt.driver import optimize_program  # noqa: F401
+    from ..targets.machine import get_target
+
+    for name in target_names:
+        get_target(name)
 
 
 def _effective_verify_mode(spec: CellSpec) -> str:
@@ -186,16 +209,46 @@ class ParallelRunner:
                     continue
             pending.append(index)
 
+        # Pass 1.5: cross-process single-flight.  A cold key another
+        # process is already computing (lock-file sentinel next to the
+        # cache entry) is *parked* — we wait for that process's
+        # published envelope instead of duplicating seconds of work.
+        # Verified cells never participate: they must actually run.
+        from .singleflight import SingleFlight
+
+        flight = SingleFlight(self.cache) if self.cache is not None else None
+        owned_locks: Dict[int, str] = {}
+        parked: List[tuple] = []
+        compute_now: List[int] = []
+        for index in pending:
+            spec = specs[index]
+            if flight is None or _effective_verify_mode(spec) != "off":
+                compute_now.append(index)
+                continue
+            key = self.cache.key(spec)
+            if flight.try_acquire(key):
+                owned_locks[index] = key
+                compute_now.append(index)
+            else:
+                parked.append((index, key))
+
         # Pass 2: compute the misses (in a pool, or inline for workers<=1).
         def finish(index: int, result: CellResult) -> None:
             # Verified runs also never *write* the cache: their timings
             # carry oracle overhead and would poison clean-run entries.
-            if (
-                self.cache is not None
-                and result.ok
-                and _effective_verify_mode(specs[index]) == "off"
-            ):
-                self.cache.put_spec(specs[index], result)
+            try:
+                if (
+                    self.cache is not None
+                    and result.ok
+                    and _effective_verify_mode(specs[index]) == "off"
+                ):
+                    self.cache.put_spec(specs[index], result)
+            finally:
+                # Publish-then-release: a waiter that sees the lock gone
+                # re-checks the cache, so the entry must land first.
+                lock_key = owned_locks.pop(index, None)
+                if lock_key is not None and flight is not None:
+                    flight.release(lock_key)
             results[index] = result
             # Fold the cell's observability snapshot into this process's
             # ambient observer.  execute_cell always records into its own
@@ -209,29 +262,61 @@ class ParallelRunner:
             if on_result is not None:
                 on_result(result)
 
-        if self.workers <= 1 or len(pending) <= 1:
-            for index in pending:
+        try:
+            if self.workers <= 1 or len(compute_now) <= 1:
+                for index in compute_now:
+                    finish(index, execute_cell(specs[index]))
+            else:
+                targets = tuple(sorted({specs[i].target for i in compute_now}))
+                with ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=warm_worker,
+                    initargs=(targets,),
+                ) as pool:
+                    futures = {
+                        pool.submit(execute_cell, specs[index]): index
+                        for index in compute_now
+                    }
+                    remaining = set(futures)
+                    while remaining:
+                        done, remaining = wait(
+                            remaining, return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            index = futures[future]
+                            try:
+                                result = future.result()
+                            except BaseException:
+                                # A worker died mid-cell (OOM kill,
+                                # interpreter crash): report the cell,
+                                # keep the run alive.
+                                result = CellResult(
+                                    spec=specs[index],
+                                    error=traceback.format_exc(),
+                                )
+                            finish(index, result)
+
+            # Pass 3: collect the parked cells.  Normally the concurrent
+            # owner publishes and we adopt its envelope as a cache hit;
+            # if it died or timed out, compute locally after all.
+            for index, key in parked:
+                waited = flight.wait_for(key) if flight is not None else None
+                if waited is not None and waited.ok:
+                    waited.cache_hit = True
+                    results[index] = waited
+                    if on_result is not None:
+                        on_result(waited)
+                    continue
+                if flight is not None and flight.try_acquire(key):
+                    owned_locks[index] = key
                 finish(index, execute_cell(specs[index]))
-        else:
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                futures = {
-                    pool.submit(execute_cell, specs[index]): index
-                    for index in pending
-                }
-                remaining = set(futures)
-                while remaining:
-                    done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        index = futures[future]
-                        try:
-                            result = future.result()
-                        except BaseException:
-                            # A worker died mid-cell (OOM kill, interpreter
-                            # crash): report the cell, keep the run alive.
-                            result = CellResult(
-                                spec=specs[index], error=traceback.format_exc()
-                            )
-                        finish(index, result)
+        finally:
+            # A crash above must not leave lock files pinning other
+            # processes into their staleness timeout.
+            if flight is not None:
+                for lock_key in owned_locks.values():
+                    flight.release(lock_key)
+            owned_locks.clear()
 
         return [result for result in results if result is not None]
 

@@ -119,6 +119,38 @@ class Tracer:
         self._stack.append(span.span_id)
         return _ActiveSpan(self, span)
 
+    def record(
+        self,
+        name: str,
+        duration: float,
+        start: Optional[float] = None,
+        **attrs: Any,
+    ) -> Optional[Span]:
+        """Append an already-completed span.
+
+        For regions timed outside the context-manager stack — e.g. an
+        async job whose lifetime spans many event-loop turns, where
+        ``with tracer.span(...)`` would interleave wrongly with other
+        concurrent jobs.  ``start`` is seconds since the tracer's epoch;
+        when omitted the span is back-dated so it *ends* now.  The span
+        becomes a child of the currently open span, if any.
+        """
+        if not self.enabled:
+            return None
+        if start is None:
+            start = (perf_counter() - self.epoch) - duration
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            start=start,
+            duration=duration,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
     def _close(self, span: Span) -> None:
         span.duration = (perf_counter() - self.epoch) - span.start
         # Close any spans left open below this one (defensive: an

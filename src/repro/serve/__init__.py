@@ -1,0 +1,59 @@
+"""repro.serve — compilation-as-a-service over the exec matrix layer.
+
+A long-running ``repro serve`` daemon turns the CLI into a thin client:
+jobs are (program × target × configuration) cells of the evaluation
+matrix, named by the content-addressed cache key of the exec layer, and
+the daemon adds the three things a cold CLI invocation cannot have:
+
+* **request coalescing** — two clients asking for the same cell attach
+  to one in-flight computation (single-flight keyed on the cache key;
+  every waiter gets the one envelope when it lands);
+* **sharded matrix scheduling** — a submitted matrix is hash-grouped by
+  cache key, already-materialized cells are skipped via a cache
+  pre-pass, and the remainder is chunked across a persistent pool of
+  warm workers (the dace ``DistributedCutoutTuner`` pattern:
+  hash-group → skip materialized → chunk across ranks);
+* **warm workers** — worker processes outlive jobs, keeping the
+  imported toolchain, memoized machine descriptions and recently
+  executed envelopes alive, so a re-run pays no interpreter start and
+  no re-translation.
+
+Modules: :mod:`protocol` (JSON-line wire format over a Unix socket),
+:mod:`coalesce` (the in-flight job table), :mod:`scheduler` (pure
+matrix planning), :mod:`server` (the asyncio daemon), :mod:`client`
+(the blocking client the CLI embeds).  Zero new dependencies.
+"""
+
+from .client import ServeClient, ServeError, ServeUnavailable
+from .coalesce import InFlightTable
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    result_from_wire,
+    result_to_wire,
+    spec_from_wire,
+    spec_to_wire,
+)
+from .scheduler import MatrixPlan, plan_matrix
+from .server import DEFAULT_SOCKET, ServeDaemon
+
+__all__ = [
+    "DEFAULT_SOCKET",
+    "InFlightTable",
+    "MatrixPlan",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "ServeUnavailable",
+    "decode_line",
+    "encode_message",
+    "plan_matrix",
+    "result_from_wire",
+    "result_to_wire",
+    "spec_from_wire",
+    "spec_to_wire",
+]

@@ -1,0 +1,201 @@
+"""The blocking daemon client the CLI (and benchmarks) embed.
+
+A :class:`ServeClient` is one Unix-socket connection speaking the
+JSON-line protocol.  It is deliberately synchronous — the CLI is a thin
+sequential client; concurrency lives in the daemon — and cheap enough
+to open per command.  :meth:`ServeClient.try_connect` is the graceful
+degradation hook: callers fall back to local in-process execution when
+no daemon is listening (``repro bench --server`` must never fail just
+because the daemon is down).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..exec.envelope import CellResult, CellSpec
+from .protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    result_from_wire,
+    spec_to_wire,
+)
+from .server import DEFAULT_SOCKET
+
+__all__ = ["ServeClient", "ServeError", "ServeUnavailable"]
+
+#: Socket-level timeout floor; waits add the op timeout on top.
+_IO_TIMEOUT = 30.0
+
+
+class ServeError(RuntimeError):
+    """The daemon answered with an error response."""
+
+
+class ServeUnavailable(ConnectionError):
+    """No daemon is listening on the socket."""
+
+
+class ServeClient:
+    """One connection to a running ``repro serve`` daemon."""
+
+    def __init__(
+        self, socket_path: os.PathLike = DEFAULT_SOCKET, timeout: float = _IO_TIMEOUT
+    ) -> None:
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.connect(self.socket_path)
+        except OSError as exc:
+            self._sock.close()
+            raise ServeUnavailable(
+                f"no daemon at {self.socket_path}: {exc}"
+            ) from None
+        self._file = self._sock.makefile("rwb")
+
+    @classmethod
+    def try_connect(
+        cls, socket_path: os.PathLike = DEFAULT_SOCKET, timeout: float = _IO_TIMEOUT
+    ) -> Optional["ServeClient"]:
+        """A connected client, or ``None`` when no daemon is listening."""
+        try:
+            return cls(socket_path, timeout=timeout)
+        except ServeUnavailable:
+            return None
+
+    # --- plumbing -------------------------------------------------------------
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """One request/response round trip; raises :class:`ServeError`."""
+        self._file.write(encode_message({"op": op, **fields}))
+        self._file.flush()
+        line = self._file.readline(MAX_LINE_BYTES)
+        if not line:
+            raise ServeUnavailable(
+                f"daemon at {self.socket_path} closed the connection"
+            )
+        response = decode_line(line)
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "unspecified daemon error"))
+        return response
+
+    @contextmanager
+    def _waiting(self, timeout: Optional[float]):
+        """Socket timeout while a blocking wait is outstanding.
+
+        The daemon enforces the op timeout; the socket allows that plus
+        I/O slack — or blocks indefinitely for an unbounded wait.
+        """
+        self._sock.settimeout(None if timeout is None else timeout + self.timeout)
+        try:
+            yield
+        finally:
+            self._sock.settimeout(self.timeout)
+
+    # --- ops ------------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def submit(self, spec: CellSpec) -> Dict[str, Any]:
+        """Submit one cell; returns the daemon's job descriptor."""
+        return self.request("submit", spec=spec_to_wire(spec))
+
+    def submit_specs(self, specs: Sequence[CellSpec]) -> Dict[str, Any]:
+        """Submit a matrix; returns job ids (input order) + plan summary."""
+        return self.request(
+            "submit_matrix", specs=[spec_to_wire(spec) for spec in specs]
+        )
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request("status", job=job_id)
+
+    def result(
+        self, job_id: str, wait: bool = True, timeout: Optional[float] = None
+    ) -> Optional[CellResult]:
+        """The job's envelope (waiting for completion by default).
+
+        Returns ``None`` for a cancelled job that produced no envelope.
+        Raises :class:`ServeError` on a daemon-side wait timeout.
+        """
+        with self._waiting(timeout if wait else 0.0):
+            response = self.request(
+                "result", job=job_id, wait=wait, timeout=timeout
+            )
+        return result_from_wire(response.get("result"))
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request("cancel", job=job_id)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")
+
+    # --- conveniences ---------------------------------------------------------
+
+    def run_cell(
+        self, spec: CellSpec, timeout: Optional[float] = None
+    ) -> CellResult:
+        """Submit one cell and wait for its envelope."""
+        descriptor = self.submit(spec)
+        result = self.result(descriptor["job"], wait=True, timeout=timeout)
+        if result is None:
+            raise ServeError(f"job {descriptor['job']} was cancelled")
+        return result
+
+    def run_matrix(
+        self,
+        specs: Sequence[CellSpec],
+        timeout: Optional[float] = None,
+        on_result=None,
+    ) -> List[CellResult]:
+        """Submit a matrix and wait for every envelope (input order).
+
+        Duplicate cells in ``specs`` coalesce daemon-side; each index
+        still receives (the one shared copy of) its envelope.
+        ``on_result`` (if given) is called once per spec as its envelope
+        arrives — the same progress contract as the local runner.
+        """
+        submitted = self.submit_specs(specs)
+        job_ids = submitted["jobs"]
+        envelopes: Dict[str, Optional[CellResult]] = {}
+        results: List[CellResult] = []
+        for spec, job_id in zip(specs, job_ids):
+            if job_id not in envelopes:
+                envelopes[job_id] = self.result(job_id, wait=True, timeout=timeout)
+            result = envelopes[job_id]
+            if result is None:
+                result = CellResult(
+                    spec=spec, error=f"job {job_id} was cancelled by the daemon"
+                )
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
+        return results
+
+    # --- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except Exception:
+            pass
+        try:
+            self._sock.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

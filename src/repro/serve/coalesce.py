@@ -1,0 +1,65 @@
+"""The in-flight job table: single-flight request coalescing.
+
+The daemon keys every job by the exec layer's content-addressed cache
+key, so "the same cell" is a hash equality, not a heuristic.  The table
+maps each key to its single in-flight job; a second submission for a
+key *attaches* to the existing job instead of creating a new one — the
+futures fan-out happens in the server (every attached client waits on
+the same job's completion event and receives the same envelope).
+
+This is deliberately tiny and synchronous: the daemon is a single
+asyncio thread, so claim/attach/complete need no locking, and the
+policy (what counts as "in flight", when completion detaches the key)
+lives here where it can be unit-tested without a running event loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Optional, Tuple, TypeVar
+
+__all__ = ["InFlightTable"]
+
+T = TypeVar("T")
+
+
+class InFlightTable(Generic[T]):
+    """key → the one in-flight job computing that key."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, T] = {}
+        #: Jobs that went through the table since construction.
+        self.claimed = 0
+        #: Submissions that attached to an existing in-flight job.
+        self.attached = 0
+
+    def claim(self, key: str, factory: Callable[[], T]) -> Tuple[T, bool]:
+        """The in-flight job for ``key``, creating one if none exists.
+
+        Returns ``(job, created)`` — ``created`` is ``False`` when the
+        submission coalesced onto an existing computation.
+        """
+        job = self._inflight.get(key)
+        if job is not None:
+            self.attached += 1
+            return job, False
+        job = factory()
+        self._inflight[key] = job
+        self.claimed += 1
+        return job, True
+
+    def get(self, key: str) -> Optional[T]:
+        return self._inflight.get(key)
+
+    def complete(self, key: str) -> None:
+        """Detach ``key``: later submissions start a fresh computation.
+
+        Idempotent — completing an unknown key is a no-op (a cancelled
+        job may be completed by both the cancel path and the worker).
+        """
+        self._inflight.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._inflight

@@ -1,0 +1,101 @@
+"""Sharded matrix planning: hash-group, skip materialized, chunk.
+
+This is the scheduling pattern of dace's ``DistributedCutoutTuner``
+(see ROADMAP), transplanted onto the evaluation matrix:
+
+1. **hash-group** the submitted cells by their content-addressed cache
+   key — duplicate cells inside one submission collapse to a single
+   work unit (they coalesce onto the same job);
+2. **skip materialized** results via a cache pre-pass — a cell whose
+   envelope already sits in the on-disk cache is served immediately and
+   never reaches a worker;
+3. **chunk** the remaining unique cells across the worker shards.
+   Chunks are contiguous slices of the deduplicated order, sized
+   ``ceil(n / (shards × oversubscribe))`` — oversubscription keeps the
+   pool busy when chunk runtimes vary (one slow chunk does not idle the
+   other workers), while still amortizing per-chunk dispatch overhead
+   over several cells.
+
+The planner is pure (no I/O beyond the probe callable, no asyncio), so
+its grouping, skipping and chunking behavior is unit-testable in
+isolation; the daemon feeds it the live cache and worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..exec.envelope import CellSpec
+
+__all__ = ["MatrixPlan", "plan_matrix", "chunk_work"]
+
+#: Chunks per shard the planner aims for (load-balance vs dispatch cost).
+DEFAULT_OVERSUBSCRIBE = 2
+
+
+@dataclass
+class MatrixPlan:
+    """What the scheduler decided for one submitted matrix."""
+
+    #: Cache key of every submitted cell, in input order (duplicates kept).
+    order: List[str] = field(default_factory=list)
+    #: Deduplicated (key, spec) pairs in first-seen order.
+    unique: List[Tuple[str, CellSpec]] = field(default_factory=list)
+    #: Submissions that collapsed onto an earlier identical cell.
+    duplicates: int = 0
+    #: Keys served by the cache pre-pass (never reach a worker).
+    skipped: List[str] = field(default_factory=list)
+    #: Work shards: each chunk is a list of keys to run on one worker.
+    chunks: List[List[str]] = field(default_factory=list)
+
+    @property
+    def scheduled(self) -> int:
+        """Cells that will actually be computed."""
+        return sum(len(chunk) for chunk in self.chunks)
+
+
+def chunk_work(
+    items: Sequence[str],
+    shards: int,
+    oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
+) -> List[List[str]]:
+    """Contiguous chunks of ``ceil(n / (shards * oversubscribe))`` items."""
+    if not items:
+        return []
+    shards = max(1, shards)
+    slots = max(1, shards * max(1, oversubscribe))
+    size = -(-len(items) // slots)  # ceil
+    return [list(items[i : i + size]) for i in range(0, len(items), size)]
+
+
+def plan_matrix(
+    specs: Sequence[CellSpec],
+    keys: Sequence[str],
+    have: Optional[Callable[[str], bool]],
+    shards: int,
+    oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
+) -> MatrixPlan:
+    """Plan one submitted matrix.
+
+    ``keys[i]`` must be the cache key of ``specs[i]`` (the daemon
+    computes them once and reuses them for job identity).  ``have``
+    probes the materialized-result store; ``None`` disables the
+    pre-pass (e.g. a cache-less daemon, or cells under verification
+    which must actually run).
+    """
+    plan = MatrixPlan(order=list(keys))
+    seen = set()
+    pending: List[str] = []
+    for spec, key in zip(specs, keys):
+        if key in seen:
+            plan.duplicates += 1
+            continue
+        seen.add(key)
+        plan.unique.append((key, spec))
+        if have is not None and have(key):
+            plan.skipped.append(key)
+        else:
+            pending.append(key)
+    plan.chunks = chunk_work(pending, shards, oversubscribe)
+    return plan

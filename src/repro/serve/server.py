@@ -1,0 +1,663 @@
+"""The ``repro serve`` daemon: an asyncio job server over the exec layer.
+
+One process owns a Unix socket, a persistent pool of warm worker
+processes, and a job table keyed by the exec layer's content-addressed
+cache keys.  Clients speak the JSON-line protocol of
+:mod:`repro.serve.protocol`:
+
+======================  ========================================================
+op                      meaning
+======================  ========================================================
+``ping``                liveness + protocol version + pid
+``submit``              one cell; coalesces onto an in-flight job for the
+                        same key, or is served straight from the cache
+``submit_matrix``       many cells; hash-grouped, cache pre-passed, and
+                        chunked across the worker shards (:mod:`scheduler`)
+``status``              job state + queue depth
+``result``              the full envelope (optionally waiting for completion)
+``cancel``              queued job: never runs; running job: detaches waiters,
+                        the computation finishes and still lands in the cache
+``stats``               job counters, queue depth, cache and metrics snapshot
+``shutdown``            graceful stop (also SIGTERM / SIGINT)
+======================  ========================================================
+
+Jobs are decoupled from connections: a client that disconnects mid-job
+abandons nothing — the computation keeps running and its envelope lands
+in the result cache for the next asker.  Every accepted cell increments
+``serve.jobs.submitted``; coalesced attaches, cache-pre-pass skips and
+matrix-scheduled cells count under ``serve.jobs.{coalesced,skipped,
+sharded}``; the ``serve.queue.depth`` gauge tracks chunks waiting for a
+worker, and each finished job records a ``serve.job`` span.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import socket as socket_module
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..exec.cache import DEFAULT_CACHE_DIR, ResultCache
+from ..exec.envelope import CellResult, CellSpec
+from ..exec.runner import default_worker_count, warm_worker
+from ..obs import Observer, active as _active_observer, install as _install_observer
+from .coalesce import InFlightTable
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    result_to_wire,
+    spec_from_wire,
+)
+from .protocol import specs_from_wire
+from .scheduler import DEFAULT_OVERSUBSCRIBE, plan_matrix
+
+__all__ = ["ServeDaemon", "DEFAULT_SOCKET", "Job"]
+
+DEFAULT_SOCKET = ".repro-serve.sock"
+
+_JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+
+class Job:
+    """One coalesced unit of work: a cell every attached client shares."""
+
+    __slots__ = (
+        "id",
+        "key",
+        "spec",
+        "state",
+        "result",
+        "event",
+        "waiters",
+        "cancelled",
+        "submitted_at",
+        "started_at",
+        "finished_at",
+    )
+
+    def __init__(self, job_id: str, key: str, spec: CellSpec) -> None:
+        self.id = job_id
+        self.key = key
+        self.spec = spec
+        self.state = "queued"
+        self.result: Optional[CellResult] = None
+        self.event = asyncio.Event()
+        #: Clients attached beyond the first (the coalescing fan-out).
+        self.waiters = 1
+        self.cancelled = False
+        self.submitted_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    def finish(self, state: str, result: Optional[CellResult]) -> None:
+        self.finished_at = time.monotonic()
+        if self.cancelled:
+            # A late-completing computation must not resurrect the job:
+            # it still publishes to the cache, but the job reads cancelled.
+            state, result = "cancelled", None
+        self.state = state
+        self.result = result
+        self.event.set()
+
+
+# --- worker side (runs in pool processes) --------------------------------------
+
+#: Recently executed envelopes, by cache key.  Content-addressed keys
+#: make staleness impossible; the bound only caps memory (traced
+#: envelopes carry compressed traces).
+_CELL_MEMO: Dict[str, CellResult] = {}
+_CELL_MEMO_LIMIT = 64
+
+
+def _execute_chunk(
+    cells: List[Tuple[str, CellSpec]],
+    cache_root: Optional[str],
+    schema_version: int,
+) -> List[CellResult]:
+    """Run one scheduled chunk inside a warm worker process.
+
+    The worker keeps machine descriptions, the imported toolchain and a
+    bounded memo of executed envelopes alive between chunks — that, not
+    the chunking itself, is where the warm-daemon speedup comes from.
+    Cells go through the cross-process single-flight when a cache is
+    configured, so a concurrent plain ``repro bench`` on the same cache
+    cannot duplicate the daemon's work (or vice versa).
+    """
+    from ..exec.runner import _effective_verify_mode, execute_cell
+    from ..exec.singleflight import single_flight
+
+    cache = (
+        ResultCache(cache_root, schema_version=schema_version)
+        if cache_root
+        else None
+    )
+    results: List[CellResult] = []
+    for key, spec in cells:
+        memoized = _CELL_MEMO.get(key)
+        if memoized is not None:
+            memoized.cache_hit = True
+            results.append(memoized)
+            continue
+        if cache is not None and _effective_verify_mode(spec) == "off":
+            result, _fresh = single_flight(cache, spec, execute_cell)
+        else:
+            result = execute_cell(spec)
+        if result.ok:
+            if len(_CELL_MEMO) >= _CELL_MEMO_LIMIT:
+                _CELL_MEMO.pop(next(iter(_CELL_MEMO)))
+            _CELL_MEMO[key] = result
+        results.append(result)
+    return results
+
+
+def _warm_probe(delay: float) -> int:
+    """No-op pool task used to force worker spawn at daemon startup."""
+    time.sleep(delay)
+    return os.getpid()
+
+
+# --- the daemon ----------------------------------------------------------------
+
+
+class ServeDaemon:
+    """The asyncio compilation-and-measurement job daemon."""
+
+    def __init__(
+        self,
+        socket_path: os.PathLike = DEFAULT_SOCKET,
+        workers: Optional[int] = None,
+        cache_dir: Optional[os.PathLike] = DEFAULT_CACHE_DIR,
+        oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
+        prewarm: bool = True,
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self.workers = default_worker_count() if workers is None else max(1, workers)
+        #: The artifact store (None = keying only, nothing persisted).
+        self.store: Optional[ResultCache] = (
+            ResultCache(cache_dir) if cache_dir is not None else None
+        )
+        #: Keys are always content hashes, even with no store configured.
+        self.keyer: ResultCache = self.store or ResultCache(DEFAULT_CACHE_DIR)
+        self.oversubscribe = oversubscribe
+        self.prewarm = prewarm
+
+        self.jobs: Dict[str, Job] = {}
+        self.inflight: InFlightTable[Job] = InFlightTable()
+        self.counters: Dict[str, int] = {
+            name: 0
+            for name in (
+                "submitted",
+                "coalesced",
+                "skipped",
+                "sharded",
+                "completed",
+                "failed",
+                "cancelled",
+            )
+        }
+        self.started_at = time.monotonic()
+        self._next_job = 0
+        self._queue: Optional[asyncio.Queue] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._queued_cells = 0
+        self._client_tasks: set = set()
+        observer = _active_observer()
+        if observer is None:
+            observer = _install_observer(Observer(spans=False))
+        self.observer = observer
+
+    # --- bookkeeping ----------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+        self.observer.metrics.inc(f"serve.jobs.{name}", amount)
+
+    def _set_queue_gauge(self) -> None:
+        self.observer.metrics.set_gauge("serve.queue.depth", self._queued_cells)
+
+    def _new_job(self, key: str, spec: CellSpec) -> Job:
+        self._next_job += 1
+        job = Job(f"j{self._next_job:06d}", key, spec)
+        self.jobs[job.id] = job
+        return job
+
+    def _store_for(self, spec: CellSpec) -> Optional[ResultCache]:
+        """The store, unless this cell's config must bypass it."""
+        from ..exec.runner import _effective_verify_mode
+
+        if self.store is None or _effective_verify_mode(spec) != "off":
+            return None
+        return self.store
+
+    # --- job intake -----------------------------------------------------------
+
+    def _submit_one(self, spec: CellSpec) -> Tuple[Job, str]:
+        """Admit one cell; returns ``(job, "new"|"coalesced"|"cached")``."""
+        key = self.keyer.key(spec)
+        self._count("submitted")
+
+        existing = self.inflight.get(key)
+        if existing is not None:
+            existing.waiters += 1
+            self._count("coalesced")
+            return existing, "coalesced"
+
+        store = self._store_for(spec)
+        if store is not None:
+            cached = store.get(key)
+            if cached is not None and cached.ok:
+                cached.cache_hit = True
+                job = self._new_job(key, spec)
+                job.state = "done"
+                job.result = cached
+                job.event.set()
+                self._count("skipped")
+                return job, "cached"
+
+        job = self._new_job(key, spec)
+        self.inflight.claim(key, lambda: job)
+        self._enqueue_chunk([job])
+        return job, "new"
+
+    def _submit_matrix(self, specs: List[CellSpec]) -> Dict[str, Any]:
+        """Admit a matrix: hash-group → cache pre-pass → shard chunks."""
+        keys = [self.keyer.key(spec) for spec in specs]
+        self._count("submitted", len(specs))
+
+        # Coalesce against jobs already in flight *before* planning:
+        # those cells are neither duplicates within this batch nor new
+        # work, they attach to running computations.
+        job_by_index: List[Optional[Job]] = [None] * len(specs)
+        plan_specs: List[CellSpec] = []
+        plan_keys: List[str] = []
+        for i, (spec, key) in enumerate(zip(specs, keys)):
+            existing = self.inflight.get(key)
+            if existing is not None:
+                existing.waiters += 1
+                job_by_index[i] = existing
+                self._count("coalesced")
+            else:
+                plan_specs.append(spec)
+                plan_keys.append(key)
+
+        def have(key: str) -> bool:
+            # The pre-pass probe: a cell is materialized when its store
+            # (respecting verify bypass) holds a healthy envelope.
+            spec = probe_specs[key]
+            store = self._store_for(spec)
+            if store is None:
+                return False
+            cached = store.get(key)
+            if cached is None or not cached.ok:
+                return False
+            probe_results[key] = cached
+            return True
+
+        probe_specs = {k: s for k, s in zip(plan_keys, plan_specs)}
+        probe_results: Dict[str, CellResult] = {}
+        plan = plan_matrix(
+            plan_specs,
+            plan_keys,
+            have if self.store is not None else None,
+            shards=self.workers,
+            oversubscribe=self.oversubscribe,
+        )
+        self._count("coalesced", plan.duplicates)
+        self._count("skipped", len(plan.skipped))
+        self._count("sharded", plan.scheduled)
+
+        jobs_by_key: Dict[str, Job] = {}
+        for key, spec in plan.unique:
+            job = self._new_job(key, spec)
+            jobs_by_key[key] = job
+            cached = probe_results.get(key)
+            if cached is not None:
+                cached.cache_hit = True
+                job.state = "done"
+                job.result = cached
+                job.event.set()
+            else:
+                self.inflight.claim(key, lambda job=job: job)
+        for chunk_keys in plan.chunks:
+            self._enqueue_chunk([jobs_by_key[key] for key in chunk_keys])
+
+        # Duplicates within the batch share the first occurrence's job.
+        for i, key in enumerate(keys):
+            if job_by_index[i] is None:
+                job_by_index[i] = jobs_by_key[key]
+
+        return {
+            "jobs": [job.id for job in job_by_index],
+            "submitted": len(specs),
+            "coalesced": plan.duplicates,
+            "skipped": len(plan.skipped),
+            "sharded": plan.scheduled,
+            "chunks": len(plan.chunks),
+        }
+
+    def _enqueue_chunk(self, jobs: List[Job]) -> None:
+        assert self._queue is not None, "daemon not running"
+        self._queued_cells += len(jobs)
+        self._set_queue_gauge()
+        self._queue.put_nowait(jobs)
+
+    # --- dispatch -------------------------------------------------------------
+
+    async def _dispatcher(self) -> None:
+        """One of ``workers`` tasks feeding chunks to the process pool."""
+        loop = asyncio.get_running_loop()
+        while True:
+            chunk: List[Job] = await self._queue.get()
+            live = [job for job in chunk if not job.cancelled]
+            self._queued_cells -= len(chunk)
+            self._set_queue_gauge()
+            for job in chunk:
+                if job.cancelled:
+                    self._finalize_cancelled(job)
+            if not live:
+                continue
+            for job in live:
+                job.state = "running"
+                job.started_at = time.monotonic()
+            cells = [(job.key, job.spec) for job in live]
+            cache_root = str(self.store.root) if self.store is not None else None
+            try:
+                results = await loop.run_in_executor(
+                    self._pool,
+                    _execute_chunk,
+                    cells,
+                    cache_root,
+                    self.keyer.schema_version,
+                )
+            except asyncio.CancelledError:
+                # Daemon shutdown: the jobs are released as cancelled by
+                # the lifecycle teardown, not reported as failures.
+                raise
+            except BaseException:
+                error = traceback.format_exc()
+                for job in live:
+                    self._finish_job(
+                        job, CellResult(spec=job.spec, error=error)
+                    )
+                continue
+            for job, result in zip(live, results):
+                self._finish_job(job, result)
+
+    def _finish_job(self, job: Job, result: CellResult) -> None:
+        state = "done" if result.ok else "failed"
+        job.finish(state, result)
+        self.inflight.complete(job.key)
+        self._count("completed" if result.ok else "failed")
+        # Fold the worker's observability snapshot into the daemon's
+        # (fresh work only; memo/cache hits describe earlier runs).
+        if not result.cache_hit and result.obs is not None:
+            self.observer.merge_snapshot(result.obs)
+        started = job.started_at if job.started_at is not None else job.submitted_at
+        self.observer.tracer.record(
+            "serve.job",
+            duration=(job.finished_at or time.monotonic()) - job.submitted_at,
+            label=job.spec.label,
+            key=job.key[:12],
+            state=job.state,
+            waiters=job.waiters,
+            queued_seconds=round(started - job.submitted_at, 6),
+        )
+
+    def _finalize_cancelled(self, job: Job) -> None:
+        if job.event.is_set():
+            return
+        job.finish("cancelled", None)
+        self.inflight.complete(job.key)
+
+    # --- ops ------------------------------------------------------------------
+
+    async def _handle_op(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        op = message.get("op")
+        if op == "ping":
+            return {
+                "ok": True,
+                "op": "ping",
+                "version": PROTOCOL_VERSION,
+                "pid": os.getpid(),
+                "workers": self.workers,
+            }
+        if op == "submit":
+            spec = spec_from_wire(message.get("spec"))
+            job, how = self._submit_one(spec)
+            return {
+                "ok": True,
+                "job": job.id,
+                "key": job.key,
+                "state": job.state,
+                "coalesced": how == "coalesced",
+                "cached": how == "cached",
+            }
+        if op == "submit_matrix":
+            specs = specs_from_wire(message.get("specs"))
+            summary = self._submit_matrix(specs)
+            return {"ok": True, **summary}
+        if op == "status":
+            job = self._lookup(message)
+            return {
+                "ok": True,
+                "job": job.id,
+                "state": job.state,
+                "waiters": job.waiters,
+                "queue_depth": self._queued_cells,
+                "elapsed_seconds": round(time.monotonic() - job.submitted_at, 6),
+            }
+        if op == "result":
+            job = self._lookup(message)
+            if message.get("wait", True) and not job.event.is_set():
+                timeout = message.get("timeout")
+                if timeout is not None and not isinstance(timeout, (int, float)):
+                    raise ProtocolError("'timeout' must be a number")
+                try:
+                    await asyncio.wait_for(job.event.wait(), timeout)
+                except asyncio.TimeoutError:
+                    return {
+                        "ok": False,
+                        "error": "timeout",
+                        "job": job.id,
+                        "state": job.state,
+                    }
+            response: Dict[str, Any] = {
+                "ok": True,
+                "job": job.id,
+                "state": job.state,
+            }
+            if job.result is not None:
+                response["result"] = result_to_wire(job.result)
+            return response
+        if op == "cancel":
+            job = self._lookup(message)
+            if job.event.is_set():
+                return {"ok": True, "job": job.id, "state": job.state,
+                        "cancelled": False}
+            job.cancelled = True
+            self._count("cancelled")
+            if job.state == "queued":
+                # Dequeued lazily by the dispatcher; detach now so a new
+                # submission for the key starts fresh.
+                self._finalize_cancelled(job)
+            else:
+                # Running: the computation cannot be interrupted — it
+                # finishes and still lands in the cache — but waiters
+                # are released immediately and the job reads cancelled.
+                job.finish("cancelled", None)
+            return {"ok": True, "job": job.id, "state": "cancelled",
+                    "cancelled": True}
+        if op == "stats":
+            return {
+                "ok": True,
+                "uptime_seconds": round(time.monotonic() - self.started_at, 6),
+                "workers": self.workers,
+                "queue_depth": self._queued_cells,
+                "inflight": len(self.inflight),
+                "jobs": dict(self.counters),
+                "cache": self.store.stats() if self.store is not None else None,
+                "metrics": self.observer.metrics.snapshot(),
+            }
+        if op == "shutdown":
+            asyncio.get_running_loop().call_soon(self.request_stop)
+            return {"ok": True, "stopping": True}
+        raise ProtocolError(f"unknown op {op!r}")
+
+    def _lookup(self, message: Dict[str, Any]) -> Job:
+        job_id = message.get("job")
+        if not isinstance(job_id, str):
+            raise ProtocolError("'job' must be a job id string")
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise ProtocolError(f"unknown job {job_id!r}")
+        return job
+
+    # --- connection handling --------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        encode_message(
+                            {"ok": False, "error": "request line too long"}
+                        )
+                    )
+                    await writer.drain()
+                    break  # stream is desynced; drop the connection
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                request_id = None
+                try:
+                    message = decode_line(line)
+                    request_id = message.get("id")
+                    response = await self._handle_op(message)
+                except ProtocolError as exc:
+                    response = {"ok": False, "error": str(exc)}
+                except Exception:
+                    response = {
+                        "ok": False,
+                        "error": f"internal error:\n{traceback.format_exc()}",
+                    }
+                if request_id is not None:
+                    response["id"] = request_id
+                writer.write(encode_message(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-write; its jobs keep running
+        except asyncio.CancelledError:
+            pass  # daemon shutting down with the connection still open
+        finally:
+            if task is not None:
+                self._client_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (Exception, asyncio.CancelledError):
+                pass
+
+    # --- lifecycle ------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Trigger graceful shutdown (signal handlers land here)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def _claim_socket(self) -> None:
+        """Refuse to start over a live daemon; clear a stale socket file."""
+        if not self.socket_path.exists():
+            return
+        probe = socket_module.socket(
+            socket_module.AF_UNIX, socket_module.SOCK_STREAM
+        )
+        try:
+            probe.settimeout(1.0)
+            probe.connect(str(self.socket_path))
+        except OSError:
+            self.socket_path.unlink()  # stale: no daemon behind it
+        else:
+            raise SystemExit(
+                f"error: a daemon is already serving {self.socket_path}"
+            )
+        finally:
+            probe.close()
+
+    async def run(self) -> None:
+        """Serve until ``shutdown`` or SIGTERM/SIGINT."""
+        loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._queue = asyncio.Queue()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_stop)
+            except NotImplementedError:  # pragma: no cover - non-Unix
+                pass
+
+        self._claim_socket()
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=warm_worker,
+            initargs=(("sparc", "m68020"),),
+        )
+        if self.prewarm:
+            # Force every worker (and its toolchain imports) into
+            # existence now, so the first real job starts warm.
+            for _ in range(self.workers):
+                self._pool.submit(_warm_probe, 0.05)
+
+        dispatchers = [
+            asyncio.ensure_future(self._dispatcher())
+            for _ in range(self.workers)
+        ]
+        server = await asyncio.start_unix_server(
+            self._handle_client, path=str(self.socket_path), limit=MAX_LINE_BYTES
+        )
+        os.chmod(self.socket_path, 0o600)
+        print(
+            f"repro-serve: listening on {self.socket_path} "
+            f"({self.workers} workers, "
+            f"cache={'off' if self.store is None else self.store.root})",
+            flush=True,
+        )
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for task in list(self._client_tasks):
+                task.cancel()
+            await asyncio.gather(*self._client_tasks, return_exceptions=True)
+            for task in dispatchers:
+                task.cancel()
+            await asyncio.gather(*dispatchers, return_exceptions=True)
+            # Release every waiter still parked on an unfinished job.
+            for job in self.jobs.values():
+                if not job.event.is_set():
+                    job.cancelled = True
+                    job.finish("cancelled", None)
+            self.inflight = InFlightTable()
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
+            print("repro-serve: stopped", flush=True)

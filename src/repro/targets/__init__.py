@@ -2,7 +2,7 @@
 
 from .delay_slots import count_nops, fill_delay_slots
 from .m68020 import M68020
-from .machine import Machine, get_target
+from .machine import Machine, clear_target_cache, get_target
 from .sparc import Sparc
 
 __all__ = [
@@ -10,6 +10,7 @@ __all__ = [
     "M68020",
     "Sparc",
     "get_target",
+    "clear_target_cache",
     "fill_delay_slots",
     "count_nops",
 ]

@@ -32,7 +32,13 @@ from ..rtl.insn import (
     Return,
 )
 
-__all__ = ["Machine", "flatten_sum", "is_leaf", "get_target"]
+__all__ = [
+    "Machine",
+    "flatten_sum",
+    "is_leaf",
+    "get_target",
+    "clear_target_cache",
+]
 
 
 def flatten_sum(expr: Expr) -> Optional[List[Expr]]:
@@ -116,8 +122,36 @@ class Machine:
         return f"<Machine {self.name}>"
 
 
+#: Machine descriptions are stateless (class-level register pools,
+#: pure legality/size methods), so one instance per target serves the
+#: whole process.  Warm worker processes rely on this: the pool
+#: initializer constructs each target once, and every later cell in
+#: that worker reuses it instead of paying per-cell construction.
+_INSTANCES: dict = {}
+
+
+def clear_target_cache() -> None:
+    """Drop memoized machine instances (tests of the warm-up path)."""
+    _INSTANCES.clear()
+
+
 def get_target(name: str) -> Machine:
-    """Look up a machine description by name ("m68020" or "sparc")."""
+    """Look up a machine description by name ("m68020" or "sparc").
+
+    Memoized per process; the ``targets.machine.{constructed,reused}``
+    counters make the reuse observable (the parallel runner's worker
+    warm-up asserts construction happens once per worker, not per cell).
+    """
+    from ..obs import active as _active_observer
+
+    obs = _active_observer()
+    key = name.lower()
+    machine = _INSTANCES.get(key)
+    if machine is not None:
+        if obs is not None:
+            obs.metrics.inc("targets.machine.reused")
+        return machine
+
     from .m68020 import M68020
     from .sparc import Sparc
 
@@ -127,8 +161,12 @@ def get_target(name: str) -> Machine:
         "sparc": Sparc,
     }
     try:
-        return table[name.lower()]()
+        machine = table[key]()
     except KeyError:
         raise ValueError(
             f"unknown target {name!r}; expected one of {sorted(table)}"
         ) from None
+    _INSTANCES[key] = machine
+    if obs is not None:
+        obs.metrics.inc("targets.machine.constructed")
+    return machine

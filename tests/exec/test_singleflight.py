@@ -1,0 +1,255 @@
+"""Unit + regression tests for cross-process single-flight deduplication."""
+
+import os
+import subprocess
+import sys
+import threading
+import time
+
+from repro.exec import CellResult, CellSpec, ResultCache, SingleFlight, single_flight
+from repro.exec.cache import CACHE_SCHEMA_VERSION
+
+SPEC = CellSpec(program="int main() { return 7; }", target="sparc")
+
+
+def small_result(spec=SPEC) -> CellResult:
+    from repro.ease.measure import Measurement
+
+    measurement = Measurement()
+    measurement.exit_code = 7
+    return CellResult(spec=spec, measurement=measurement)
+
+
+# --- lock primitives -----------------------------------------------------------
+
+
+def test_acquire_is_exclusive(tmp_path):
+    cache = ResultCache(tmp_path)
+    flight = SingleFlight(cache)
+    key = cache.key(SPEC)
+    assert flight.try_acquire(key)
+    assert not flight.try_acquire(key)
+    assert flight.holder_active(key)
+    flight.release(key)
+    assert not flight.holder_active(key)
+    assert flight.try_acquire(key)
+    flight.release(key)
+
+
+def test_release_is_idempotent(tmp_path):
+    cache = ResultCache(tmp_path)
+    flight = SingleFlight(cache)
+    key = cache.key(SPEC)
+    flight.release(key)  # never acquired: no error
+    assert flight.try_acquire(key)
+    flight.release(key)
+    flight.release(key)
+
+
+def test_stale_lock_is_broken_and_reclaimed(tmp_path):
+    cache = ResultCache(tmp_path)
+    flight = SingleFlight(cache, stale_after=10.0)
+    key = cache.key(SPEC)
+    assert flight.try_acquire(key)
+    # Back-date the lock beyond the staleness timeout (a crashed owner).
+    lock = flight._lock_path(key)
+    old = time.time() - 60.0
+    os.utime(lock, (old, old))
+    assert flight.try_acquire(key)  # broke the stale lock, owns a fresh one
+    flight.release(key)
+
+
+def test_wait_for_returns_published_entry(tmp_path):
+    cache = ResultCache(tmp_path)
+    flight = SingleFlight(cache, poll=0.01)
+    key = cache.key(SPEC)
+    assert flight.try_acquire(key)
+
+    def publish():
+        time.sleep(0.15)
+        cache.put(key, small_result())
+        flight.release(key)
+
+    thread = threading.Thread(target=publish)
+    thread.start()
+    try:
+        waited = flight.wait_for(key, timeout=10.0)
+    finally:
+        thread.join()
+    assert waited is not None
+    assert waited.measurement.exit_code == 7
+
+
+def test_wait_for_gives_up_when_owner_vanishes_without_entry(tmp_path):
+    cache = ResultCache(tmp_path)
+    flight = SingleFlight(cache, poll=0.01)
+    key = cache.key(SPEC)
+    assert flight.try_acquire(key)
+
+    def abandon():
+        time.sleep(0.1)
+        flight.release(key)  # owner dies without publishing
+
+    thread = threading.Thread(target=abandon)
+    thread.start()
+    try:
+        assert flight.wait_for(key, timeout=10.0) is None
+    finally:
+        thread.join()
+
+
+def test_wait_for_times_out(tmp_path):
+    cache = ResultCache(tmp_path)
+    flight = SingleFlight(cache, poll=0.01)
+    key = cache.key(SPEC)
+    assert flight.try_acquire(key)
+    try:
+        assert flight.wait_for(key, timeout=0.05) is None
+    finally:
+        flight.release(key)
+
+
+# --- the single_flight protocol ------------------------------------------------
+
+
+def test_single_flight_computes_and_publishes(tmp_path):
+    cache = ResultCache(tmp_path)
+    calls = []
+
+    def compute(spec):
+        calls.append(spec)
+        return small_result(spec)
+
+    result, fresh = single_flight(cache, SPEC, compute)
+    assert fresh and result.ok and len(calls) == 1
+    assert cache.get_spec(SPEC) is not None
+    assert not SingleFlight(cache).holder_active(cache.key(SPEC))
+
+
+def test_single_flight_without_cache_just_computes():
+    result, fresh = single_flight(None, SPEC, small_result)
+    assert fresh and result.ok
+
+
+def test_single_flight_never_publishes_failures(tmp_path):
+    cache = ResultCache(tmp_path)
+
+    def fail(spec):
+        return CellResult(spec=spec, error="boom")
+
+    result, fresh = single_flight(cache, SPEC, fail)
+    assert fresh and not result.ok
+    assert cache.get_spec(SPEC) is None
+    # And the lock is released so the next caller isn't parked.
+    assert not SingleFlight(cache).holder_active(cache.key(SPEC))
+
+
+def test_single_flight_adopts_already_published_entry(tmp_path):
+    """Double-check under the lock: a published entry is never recomputed."""
+    cache = ResultCache(tmp_path)
+    cache.put_spec(SPEC, small_result())
+    result, fresh = single_flight(
+        cache, SPEC, lambda spec: (_ for _ in ()).throw(AssertionError)
+    )
+    assert not fresh
+    assert result.cache_hit
+    assert result.measurement.exit_code == 7
+
+
+def test_single_flight_waiter_adopts_owners_envelope(tmp_path):
+    cache = ResultCache(tmp_path)
+    flight = SingleFlight(cache, poll=0.01)
+    key = cache.key(SPEC)
+    assert flight.try_acquire(key)  # simulate a concurrent owner
+
+    def owner():
+        time.sleep(0.15)
+        cache.put(key, small_result())
+        flight.release(key)
+
+    thread = threading.Thread(target=owner)
+    thread.start()
+    try:
+        result, fresh = single_flight(
+            cache,
+            SPEC,
+            lambda spec: (_ for _ in ()).throw(AssertionError("recomputed")),
+            flight=SingleFlight(cache, poll=0.01),
+        )
+    finally:
+        thread.join()
+    assert not fresh
+    assert result.cache_hit
+    assert result.measurement.exit_code == 7
+
+
+# --- the regression: two deliberately racing processes -------------------------
+
+_RACER = """
+import sys, time
+from repro.exec import CellSpec, ResultCache
+from repro.exec.singleflight import SingleFlight, single_flight
+
+cache_dir, marker_dir, tag = sys.argv[1], sys.argv[2], sys.argv[3]
+cache = ResultCache(cache_dir)
+spec = CellSpec(program="int main() { return 7; }", target="sparc")
+
+def compute(spec):
+    # Record that THIS process did the work, slowly enough that the
+    # other process is guaranteed to arrive while the lock is held.
+    with open(f"{marker_dir}/computed-{tag}", "w") as fh:
+        fh.write(tag)
+    time.sleep(1.0)
+    from repro.exec import execute_cell
+    return execute_cell(spec)
+
+result, fresh = single_flight(
+    cache, spec, compute, flight=SingleFlight(cache, poll=0.01)
+)
+assert result.ok, result.error
+print(f"{tag} fresh={fresh} exit={result.measurement.exit_code}")
+"""
+
+
+def test_two_racing_processes_compute_once(tmp_path):
+    """Two processes race on the same cold key; exactly one computes."""
+    cache_dir = tmp_path / "cache"
+    marker_dir = tmp_path / "markers"
+    marker_dir.mkdir()
+    env = dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path))
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _RACER, str(cache_dir), str(marker_dir), tag],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        for tag in ("a", "b")
+    ]
+    outputs = [proc.communicate(timeout=120) for proc in procs]
+    for proc, (out, err) in zip(procs, outputs):
+        assert proc.returncode == 0, err
+    markers = sorted(p.name for p in marker_dir.iterdir())
+    assert len(markers) == 1, (
+        f"both processes computed: {markers}\n"
+        + "\n".join(out for out, _ in outputs)
+    )
+    # Both got a usable envelope: one fresh, one adopted.
+    freshness = sorted(out.split("fresh=")[1].split()[0] for out, _ in outputs)
+    assert freshness == ["False", "True"]
+    assert ResultCache(cache_dir).get_spec(SPEC) is not None
+
+
+def test_lock_files_live_beside_entries(tmp_path):
+    """Locks land in the entry's shard dir, never mistaken for entries."""
+    cache = ResultCache(tmp_path)
+    flight = SingleFlight(cache)
+    key = cache.key(SPEC)
+    assert flight.try_acquire(key)
+    lock = flight._lock_path(key)
+    assert lock.parent == cache._path(key).parent
+    assert lock.suffix == ".lock"
+    assert len(cache) == 0  # a lock is not an entry
+    assert cache.disk_stats()["entries"] == 0
+    flight.release(key)

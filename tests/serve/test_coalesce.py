@@ -1,0 +1,58 @@
+"""Unit tests for the in-flight single-flight job table."""
+
+from repro.serve import InFlightTable
+
+
+def test_claim_creates_then_attaches():
+    table = InFlightTable()
+    first, created = table.claim("k", lambda: object())
+    assert created
+    second, created = table.claim("k", lambda: object())
+    assert not created
+    assert second is first
+    assert table.claimed == 1
+    assert table.attached == 1
+
+
+def test_factory_not_called_on_attach():
+    table = InFlightTable()
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return "job"
+
+    table.claim("k", factory)
+    table.claim("k", factory)
+    assert calls == [1]
+
+
+def test_complete_detaches_key():
+    table = InFlightTable()
+    job, _ = table.claim("k", lambda: object())
+    assert "k" in table
+    table.complete("k")
+    assert "k" not in table
+    assert len(table) == 0
+    fresh, created = table.claim("k", lambda: object())
+    assert created
+    assert fresh is not job
+
+
+def test_complete_is_idempotent():
+    table = InFlightTable()
+    table.complete("never-claimed")
+    table.claim("k", lambda: object())
+    table.complete("k")
+    table.complete("k")
+    assert len(table) == 0
+
+
+def test_independent_keys_do_not_coalesce():
+    table = InFlightTable()
+    a, _ = table.claim("a", lambda: object())
+    b, _ = table.claim("b", lambda: object())
+    assert a is not b
+    assert len(table) == 2
+    assert table.get("a") is a
+    assert table.get("missing") is None

@@ -1,0 +1,89 @@
+"""Unit tests for the pure matrix planner (hash-group, skip, chunk)."""
+
+from repro.exec import CellSpec
+from repro.serve.scheduler import chunk_work, plan_matrix
+
+
+def _specs(n):
+    return [CellSpec(program=f"int main() {{ return {i}; }}") for i in range(n)]
+
+
+# --- chunking ------------------------------------------------------------------
+
+
+def test_chunk_work_empty():
+    assert chunk_work([], shards=4) == []
+
+
+def test_chunk_work_respects_ceiling():
+    chunks = chunk_work([f"k{i}" for i in range(10)], shards=2, oversubscribe=2)
+    # ceil(10 / 4) = 3 per chunk -> 3+3+3+1
+    assert [len(c) for c in chunks] == [3, 3, 3, 1]
+    assert [k for chunk in chunks for k in chunk] == [f"k{i}" for i in range(10)]
+
+
+def test_chunk_work_small_input_one_chunk_each():
+    chunks = chunk_work(["a", "b"], shards=8, oversubscribe=2)
+    assert chunks == [["a"], ["b"]]
+
+
+def test_chunk_work_degenerate_shards():
+    assert chunk_work(["a", "b", "c"], shards=0, oversubscribe=0) == [
+        ["a", "b", "c"]
+    ]
+
+
+# --- planning ------------------------------------------------------------------
+
+
+def test_plan_dedupes_identical_cells():
+    specs = _specs(3)
+    batch = [specs[0], specs[1], specs[0], specs[2], specs[1], specs[0]]
+    keys = [f"key-{s.program}" for s in batch]
+    plan = plan_matrix(batch, keys, have=None, shards=2)
+    assert plan.duplicates == 3
+    assert len(plan.unique) == 3
+    assert plan.scheduled == 3
+    assert plan.order == keys  # input order retained, duplicates included
+
+
+def test_plan_skips_materialized_cells():
+    specs = _specs(4)
+    keys = [f"key-{i}" for i in range(4)]
+    plan = plan_matrix(specs, keys, have=lambda k: k in ("key-1", "key-3"), shards=2)
+    assert plan.skipped == ["key-1", "key-3"]
+    assert plan.scheduled == 2
+    scheduled = [k for chunk in plan.chunks for k in chunk]
+    assert scheduled == ["key-0", "key-2"]
+
+
+def test_plan_without_probe_schedules_everything():
+    specs = _specs(5)
+    keys = [f"key-{i}" for i in range(5)]
+    plan = plan_matrix(specs, keys, have=None, shards=1, oversubscribe=1)
+    assert plan.skipped == []
+    assert plan.scheduled == 5
+    assert len(plan.chunks) == 1  # 1 shard x 1 oversubscribe = 1 slot
+
+
+def test_plan_probes_each_unique_key_once():
+    specs = _specs(2)
+    batch = [specs[0], specs[1], specs[0]]
+    keys = ["key-0", "key-1", "key-0"]
+    probed = []
+
+    def have(key):
+        probed.append(key)
+        return False
+
+    plan_matrix(batch, keys, have, shards=2)
+    assert probed == ["key-0", "key-1"]  # duplicates never re-probed
+
+
+def test_plan_all_cached_means_no_chunks():
+    specs = _specs(3)
+    keys = [f"key-{i}" for i in range(3)]
+    plan = plan_matrix(specs, keys, have=lambda k: True, shards=4)
+    assert plan.chunks == []
+    assert plan.scheduled == 0
+    assert len(plan.skipped) == 3

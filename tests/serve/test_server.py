@@ -1,0 +1,376 @@
+"""Daemon lifecycle tests: a real ``repro serve`` process over a Unix socket.
+
+Each scenario of the satellite checklist drives the daemon end-to-end:
+startup/shutdown on signal, client disconnect mid-job (the computation
+keeps running and its envelope lands in the cache), cancel semantics for
+queued vs running jobs, malformed-request tolerance, and the coalescing
+contract — N concurrent clients submitting one cell leave
+``serve.jobs.coalesced == N - 1``.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.exec import CellSpec, ResultCache, execute_cell
+from repro.serve import PROTOCOL_VERSION, ServeClient, ServeError
+from repro.serve.protocol import decode_line, encode_message
+
+#: ~8M dynamic instructions: slow enough (~1s) that concurrent submits
+#: reliably land while the cell is in flight, fast enough for CI.
+_SLOW = (
+    "int main() { int i; i = 0; "
+    "while (i < 2000000) { i = i + 1; } return %d; }"
+)
+
+
+def slow_spec(ret: int) -> CellSpec:
+    return CellSpec(program=_SLOW % ret)
+
+
+def quick_spec(ret: int) -> CellSpec:
+    return CellSpec(program="int main() { return %d; }" % ret)
+
+
+class Daemon:
+    """A ``repro serve`` subprocess bound to a per-test-session socket."""
+
+    def __init__(self, root: Path, workers: int = 1) -> None:
+        self.socket_path = root / "daemon.sock"
+        self.cache_dir = root / "cache"
+        env = dict(os.environ, PYTHONPATH=os.pathsep.join(sys.path))
+        env.pop("REPRO_TRACE", None)
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--socket",
+                str(self.socket_path),
+                "--workers",
+                str(workers),
+                "--cache-dir",
+                str(self.cache_dir),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        deadline = time.monotonic() + 90.0
+        while not self.socket_path.exists():
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"daemon died during startup:\n{self.proc.stdout.read()}"
+                )
+            if time.monotonic() > deadline:
+                self.proc.kill()
+                raise RuntimeError("daemon never created its socket")
+            time.sleep(0.05)
+
+    def client(self) -> ServeClient:
+        return ServeClient(self.socket_path, timeout=120.0)
+
+    def stop(self) -> str:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+        return self.proc.stdout.read()
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    d = Daemon(tmp_path_factory.mktemp("serve"), workers=1)
+    yield d
+    d.stop()
+
+
+# --- basic round trips ---------------------------------------------------------
+
+
+def test_ping_reports_protocol_version(daemon):
+    with daemon.client() as client:
+        pong = client.ping()
+    assert pong["version"] == PROTOCOL_VERSION
+    assert pong["pid"] == daemon.proc.pid
+    assert pong["workers"] == 1
+
+
+def test_submit_result_matches_local_execution(daemon):
+    spec = quick_spec(41)
+    with daemon.client() as client:
+        served = client.run_cell(spec)
+    local = execute_cell(spec)
+    assert served.ok and local.ok
+    for field in (
+        "exit_code",
+        "output",
+        "static_insns",
+        "dynamic_insns",
+        "dynamic_jumps",
+        "dynamic_nops",
+        "code_bytes",
+    ):
+        assert getattr(served.measurement, field) == getattr(
+            local.measurement, field
+        ), field
+
+
+def test_second_submit_is_served_from_cache(daemon):
+    spec = quick_spec(42)
+    with daemon.client() as client:
+        client.run_cell(spec)
+        descriptor = client.submit(spec)
+        assert descriptor["cached"]
+        assert descriptor["state"] == "done"
+        result = client.result(descriptor["job"])
+    assert result.cache_hit
+    assert result.measurement.exit_code == 42
+
+
+def test_matrix_dedupes_and_orders(daemon):
+    a, b = quick_spec(43), quick_spec(44)
+    with daemon.client() as client:
+        summary = client.submit_specs([a, b, a, a])
+        jobs = summary["jobs"]
+        assert len(jobs) == 4
+        assert jobs[0] == jobs[2] == jobs[3]
+        assert jobs[1] != jobs[0]
+        assert summary["coalesced"] >= 2  # the two in-batch duplicates
+        results = [client.result(job) for job in jobs]
+    assert [r.measurement.exit_code for r in results] == [43, 44, 43, 43]
+
+
+def test_run_matrix_returns_input_order(daemon):
+    specs = [quick_spec(45), quick_spec(46), quick_spec(45)]
+    seen = []
+    with daemon.client() as client:
+        results = client.run_matrix(specs, on_result=seen.append)
+    assert [r.measurement.exit_code for r in results] == [45, 46, 45]
+    assert len(seen) == 3
+
+
+def test_status_and_stats_shapes(daemon):
+    spec = quick_spec(47)
+    with daemon.client() as client:
+        descriptor = client.submit(spec)
+        status = client.status(descriptor["job"])
+        assert status["state"] in ("queued", "running", "done")
+        client.result(descriptor["job"])
+        stats = client.stats()
+    assert stats["workers"] == 1
+    assert stats["jobs"]["submitted"] >= 1
+    assert stats["cache"]["root"] == str(daemon.cache_dir)
+    assert "serve.jobs.submitted" in stats["metrics"]["counters"]
+
+
+# --- coalescing ----------------------------------------------------------------
+
+
+def test_n_clients_coalesce_to_one_computation(daemon):
+    """N concurrent submits of one cell: serve.jobs.coalesced == N - 1."""
+    n = 4
+    spec = slow_spec(11)
+    clients = [daemon.client() for _ in range(n)]
+    try:
+        before = clients[0].stats()["jobs"]
+        descriptors = [client.submit(spec) for client in clients]
+        job_ids = {d["job"] for d in descriptors}
+        assert len(job_ids) == 1  # every client attached to the same job
+        assert [d["coalesced"] for d in descriptors] == [False, True, True, True]
+        results = [
+            client.result(d["job"])
+            for client, d in zip(clients, descriptors)
+        ]
+        after = clients[0].stats()["jobs"]
+    finally:
+        for client in clients:
+            client.close()
+    assert after["coalesced"] - before["coalesced"] == n - 1
+    assert after["completed"] - before["completed"] == 1
+    exits = {r.measurement.exit_code for r in results}
+    assert exits == {11}
+
+
+# --- cancel semantics ----------------------------------------------------------
+
+
+def test_cancel_queued_job_never_runs(daemon):
+    blocker, victim = slow_spec(12), slow_spec(13)
+    with daemon.client() as client:
+        client.submit(blocker)  # occupies the single worker
+        descriptor = client.submit(victim)
+        cancelled = client.cancel(descriptor["job"])
+        assert cancelled["cancelled"]
+        assert client.status(descriptor["job"])["state"] == "cancelled"
+        assert client.result(descriptor["job"]) is None
+        # Cancelling an already-finished job is a polite no-op.
+        done = client.submit(quick_spec(14))
+        client.result(done["job"])
+        assert not client.cancel(done["job"])["cancelled"]
+    # The victim never computed: its envelope never appears in the cache.
+    keyer = ResultCache(daemon.cache_dir)
+    assert keyer.get_spec(victim) is None
+
+
+def test_cancel_running_job_still_lands_in_cache(daemon):
+    spec = slow_spec(15)
+    with daemon.client() as client:
+        descriptor = client.submit(spec)
+        # Wait for it to leave the queue and start computing.
+        deadline = time.monotonic() + 60.0
+        while client.status(descriptor["job"])["state"] == "queued":
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        cancelled = client.cancel(descriptor["job"])
+        assert cancelled["cancelled"]
+        assert client.result(descriptor["job"]) is None  # waiters released
+    # The computation cannot be interrupted: the worker finishes and the
+    # envelope still lands in the on-disk cache for the next asker.
+    keyer = ResultCache(daemon.cache_dir)
+    deadline = time.monotonic() + 90.0
+    while keyer.get_spec(spec) is None:
+        assert time.monotonic() < deadline, "cancelled job never published"
+        time.sleep(0.1)
+    assert keyer.get_spec(spec).measurement.exit_code == 15
+
+
+# --- disconnect mid-job --------------------------------------------------------
+
+
+def test_client_disconnect_mid_job_keeps_running(daemon):
+    spec = slow_spec(16)
+    first = daemon.client()
+    descriptor = first.submit(spec)
+    first.close()  # walk away with the job in flight
+    with daemon.client() as second:
+        result = second.result(descriptor["job"], wait=True, timeout=90.0)
+    assert result is not None
+    assert result.measurement.exit_code == 16
+    assert ResultCache(daemon.cache_dir).get_spec(spec) is not None
+
+
+# --- error handling ------------------------------------------------------------
+
+
+def test_malformed_requests_keep_connection_usable(daemon):
+    raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    raw.settimeout(30.0)
+    raw.connect(str(daemon.socket_path))
+    stream = raw.makefile("rwb")
+    try:
+        for bad in (b"this is not json\n", b"[1,2,3]\n", b'{"op":"bogus"}\n'):
+            stream.write(bad)
+            stream.flush()
+            response = decode_line(stream.readline())
+            assert not response["ok"]
+            assert "error" in response
+        # The connection survived every malformed line.
+        stream.write(encode_message({"op": "ping", "id": "after-garbage"}))
+        stream.flush()
+        response = decode_line(stream.readline())
+        assert response["ok"]
+        assert response["id"] == "after-garbage"
+    finally:
+        stream.close()
+        raw.close()
+
+
+def test_malformed_spec_is_rejected(daemon):
+    raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    raw.settimeout(30.0)
+    raw.connect(str(daemon.socket_path))
+    stream = raw.makefile("rwb")
+    try:
+        stream.write(
+            encode_message({"op": "submit", "spec": {"program": "wc", "evil": 1}})
+        )
+        stream.flush()
+        response = decode_line(stream.readline())
+        assert not response["ok"]
+        assert "evil" in response["error"]
+    finally:
+        stream.close()
+        raw.close()
+
+
+def test_unknown_job_id_errors(daemon):
+    with daemon.client() as client:
+        with pytest.raises(ServeError, match="unknown job"):
+            client.status("j999999")
+        with pytest.raises(ServeError, match="job"):
+            client.result(12)  # type: ignore[arg-type] - wrong type on purpose
+
+
+def test_result_wait_timeout_is_an_error_response(daemon):
+    with daemon.client() as client:
+        descriptor = client.submit(slow_spec(17))
+        with pytest.raises(ServeError, match="timeout"):
+            client.result(descriptor["job"], wait=True, timeout=0.05)
+        # The job is unaffected; a patient wait still succeeds.
+        result = client.result(descriptor["job"], wait=True, timeout=90.0)
+    assert result.measurement.exit_code == 17
+
+
+# --- socket claiming -----------------------------------------------------------
+
+
+def test_live_socket_is_not_stolen(daemon):
+    from repro.serve.server import ServeDaemon
+
+    rival = ServeDaemon(socket_path=daemon.socket_path)
+    with pytest.raises(SystemExit, match="already serving"):
+        rival._claim_socket()
+    assert daemon.socket_path.exists()
+
+
+def test_stale_socket_is_cleared(tmp_path):
+    from repro.serve.server import ServeDaemon
+
+    stale = tmp_path / "stale.sock"
+    leftover = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    leftover.bind(str(stale))
+    leftover.close()  # the file outlives the listener
+    assert stale.exists()
+    ServeDaemon(socket_path=stale)._claim_socket()
+    assert not stale.exists()
+
+
+# --- startup / shutdown on signal ----------------------------------------------
+
+
+def test_sigterm_shuts_down_cleanly(tmp_path):
+    d = Daemon(tmp_path, workers=1)
+    with d.client() as client:
+        assert client.ping()["ok"]
+    d.proc.send_signal(signal.SIGTERM)
+    assert d.proc.wait(timeout=30) == 0
+    output = d.proc.stdout.read()
+    assert "listening" in output
+    assert "stopped" in output
+    assert not d.socket_path.exists()
+
+
+def test_shutdown_op_releases_parked_waiters(tmp_path):
+    d = Daemon(tmp_path, workers=1)
+    try:
+        with d.client() as client:
+            descriptor = client.submit(slow_spec(18))
+            assert client.shutdown()["stopping"]
+            assert d.proc.wait(timeout=60) == 0
+        assert not d.socket_path.exists()
+        # The submitted job was released as cancelled, not left hanging
+        # (we can't query it post-mortem; clean exit is the contract).
+    finally:
+        d.stop()
