@@ -140,10 +140,18 @@ class SingleFlight:
         obs = _observer()
         if obs is not None:
             obs.metrics.inc("exec.singleflight.waited")
+        entry_path = self.cache._path(key)
+        result = self.cache.get(key)  # the whole wait counts as one miss
+        if result is not None:
+            return result
         while True:
-            result = self.cache.get(key)
-            if result is not None:
-                return result
+            # Probe the entry file cheaply; deserialize (and touch the
+            # hit/miss counters) only once it appears, so a long wait
+            # doesn't inflate the cache's miss stats once per poll.
+            if entry_path.exists():
+                result = self.cache.get(key)
+                if result is not None:
+                    return result
             path = self._lock_path(key)
             if not path.exists():
                 # Owner finished (or crashed) without a usable entry.

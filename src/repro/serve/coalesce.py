@@ -50,12 +50,18 @@ class InFlightTable(Generic[T]):
     def get(self, key: str) -> Optional[T]:
         return self._inflight.get(key)
 
-    def complete(self, key: str) -> None:
+    def complete(self, key: str, value: Optional[T] = None) -> None:
         """Detach ``key``: later submissions start a fresh computation.
 
         Idempotent — completing an unknown key is a no-op (a cancelled
         job may be completed by both the cancel path and the worker).
+        With ``value`` given, the key is detached only while it still
+        maps to that job: a job cancelled mid-run is detached at cancel
+        time, and its computation's late completion must not evict a
+        successor job that has since re-claimed the key.
         """
+        if value is not None and self._inflight.get(key) is not value:
+            return
         self._inflight.pop(key, None)
 
     def __len__(self) -> int:

@@ -110,9 +110,11 @@ class Job:
 
 # --- worker side (runs in pool processes) --------------------------------------
 
-#: Recently executed envelopes, by cache key.  Content-addressed keys
+#: Recently executed envelopes, by job key.  Content-addressed keys
 #: make staleness impossible; the bound only caps memory (traced
-#: envelopes carry compressed traces).
+#: envelopes carry compressed traces).  Cells with verification on
+#: never enter (or are served from) the memo, mirroring the persistent
+#: store bypass: a verified run must actually run.
 _CELL_MEMO: Dict[str, CellResult] = {}
 _CELL_MEMO_LIMIT = 64
 
@@ -141,16 +143,18 @@ def _execute_chunk(
     )
     results: List[CellResult] = []
     for key, spec in cells:
-        memoized = _CELL_MEMO.get(key)
-        if memoized is not None:
-            memoized.cache_hit = True
-            results.append(memoized)
-            continue
-        if cache is not None and _effective_verify_mode(spec) == "off":
+        verify_off = _effective_verify_mode(spec) == "off"
+        if verify_off:
+            memoized = _CELL_MEMO.get(key)
+            if memoized is not None:
+                memoized.cache_hit = True
+                results.append(memoized)
+                continue
+        if cache is not None and verify_off:
             result, _fresh = single_flight(cache, spec, execute_cell)
         else:
             result = execute_cell(spec)
-        if result.ok:
+        if result.ok and verify_off:
             if len(_CELL_MEMO) >= _CELL_MEMO_LIMIT:
                 _CELL_MEMO.pop(next(iter(_CELL_MEMO)))
             _CELL_MEMO[key] = result
@@ -238,11 +242,29 @@ class ServeDaemon:
             return None
         return self.store
 
+    def _job_key(self, spec: CellSpec) -> str:
+        """Job identity: the cache key, qualified by the verify mode.
+
+        The cache key deliberately excludes ``verify`` (verification
+        must not change what is measured), but dedup identity must not:
+        coalescing or memo-serving a verifying submission from an
+        unverified run would silently skip the oracle — a verified run
+        must actually run — and a verify-off client must never receive
+        an envelope carrying oracle overhead.  Verify-off cells keep
+        the bare cache key, so job keys double as store keys wherever
+        ``_store_for`` allows a store at all.
+        """
+        from ..exec.runner import _effective_verify_mode
+
+        mode = _effective_verify_mode(spec)
+        key = self.keyer.key(spec)
+        return key if mode == "off" else f"{key}:{mode}"
+
     # --- job intake -----------------------------------------------------------
 
     def _submit_one(self, spec: CellSpec) -> Tuple[Job, str]:
         """Admit one cell; returns ``(job, "new"|"coalesced"|"cached")``."""
-        key = self.keyer.key(spec)
+        key = self._job_key(spec)
         self._count("submitted")
 
         existing = self.inflight.get(key)
@@ -270,7 +292,7 @@ class ServeDaemon:
 
     def _submit_matrix(self, specs: List[CellSpec]) -> Dict[str, Any]:
         """Admit a matrix: hash-group → cache pre-pass → shard chunks."""
-        keys = [self.keyer.key(spec) for spec in specs]
+        keys = [self._job_key(spec) for spec in specs]
         self._count("submitted", len(specs))
 
         # Coalesce against jobs already in flight *before* planning:
@@ -395,8 +417,11 @@ class ServeDaemon:
     def _finish_job(self, job: Job, result: CellResult) -> None:
         state = "done" if result.ok else "failed"
         job.finish(state, result)
-        self.inflight.complete(job.key)
-        self._count("completed" if result.ok else "failed")
+        self.inflight.complete(job.key, job)
+        if not job.cancelled:
+            # A job cancelled mid-run already counted under "cancelled";
+            # its late completion must not also count completed/failed.
+            self._count("completed" if result.ok else "failed")
         # Fold the worker's observability snapshot into the daemon's
         # (fresh work only; memo/cache hits describe earlier runs).
         if not result.cache_hit and result.obs is not None:
@@ -416,7 +441,7 @@ class ServeDaemon:
         if job.event.is_set():
             return
         job.finish("cancelled", None)
-        self.inflight.complete(job.key)
+        self.inflight.complete(job.key, job)
 
     # --- ops ------------------------------------------------------------------
 
@@ -485,15 +510,14 @@ class ServeDaemon:
                         "cancelled": False}
             job.cancelled = True
             self._count("cancelled")
-            if job.state == "queued":
-                # Dequeued lazily by the dispatcher; detach now so a new
-                # submission for the key starts fresh.
-                self._finalize_cancelled(job)
-            else:
-                # Running: the computation cannot be interrupted — it
-                # finishes and still lands in the cache — but waiters
-                # are released immediately and the job reads cancelled.
-                job.finish("cancelled", None)
+            # Queued: dequeued lazily by the dispatcher.  Running: the
+            # computation cannot be interrupted — it finishes and still
+            # lands in the cache — but waiters are released immediately
+            # and the job reads cancelled.  Either way the key detaches
+            # now, so a new submission starts fresh (and is then served
+            # as a cache hit) instead of coalescing onto a job it would
+            # only ever observe as cancelled.
+            self._finalize_cancelled(job)
             return {"ok": True, "job": job.id, "state": "cancelled",
                     "cancelled": True}
         if op == "stats":
@@ -628,9 +652,17 @@ class ServeDaemon:
             asyncio.ensure_future(self._dispatcher())
             for _ in range(self.workers)
         ]
-        server = await asyncio.start_unix_server(
-            self._handle_client, path=str(self.socket_path), limit=MAX_LINE_BYTES
-        )
+        # The protocol's trust argument rests on the socket being 0600,
+        # so it must never exist with wider permissions — hold a 0o177
+        # umask across creation rather than chmod-ing after the server
+        # has already begun accepting connections.
+        old_umask = os.umask(0o177)
+        try:
+            server = await asyncio.start_unix_server(
+                self._handle_client, path=str(self.socket_path), limit=MAX_LINE_BYTES
+            )
+        finally:
+            os.umask(old_umask)
         os.chmod(self.socket_path, 0o600)
         print(
             f"repro-serve: listening on {self.socket_path} "

@@ -98,6 +98,19 @@ def test_wait_for_gives_up_when_owner_vanishes_without_entry(tmp_path):
         thread.join()
 
 
+def test_wait_for_counts_a_single_miss(tmp_path):
+    """Polling probes the entry file; it must not inflate miss stats."""
+    cache = ResultCache(tmp_path)
+    flight = SingleFlight(cache, poll=0.01)
+    key = cache.key(SPEC)
+    assert flight.try_acquire(key)
+    try:
+        assert flight.wait_for(key, timeout=0.3) is None  # ~30 polls
+    finally:
+        flight.release(key)
+    assert cache.misses == 1
+
+
 def test_wait_for_times_out(tmp_path):
     cache = ResultCache(tmp_path)
     flight = SingleFlight(cache, poll=0.01)

@@ -39,6 +39,22 @@ def test_complete_detaches_key():
     assert fresh is not job
 
 
+def test_complete_with_value_only_detaches_that_job():
+    """A superseded job's late completion must not evict its successor."""
+    table = InFlightTable()
+    old, _ = table.claim("k", lambda: object())
+    table.complete("k", old)  # cancel-while-running detaches eagerly
+    assert "k" not in table
+    new, created = table.claim("k", lambda: object())
+    assert created
+    # The old computation finishes later and completes with its own job:
+    # the successor stays in flight.
+    table.complete("k", old)
+    assert table.get("k") is new
+    table.complete("k", new)
+    assert "k" not in table
+
+
 def test_complete_is_idempotent():
     table = InFlightTable()
     table.complete("never-claimed")

@@ -203,6 +203,36 @@ def test_n_clients_coalesce_to_one_computation(daemon):
     assert exits == {11}
 
 
+def test_verify_mode_partitions_job_identity(tmp_path):
+    """Dedup identity is the cache key *qualified by* the verify mode."""
+    from repro.serve.server import ServeDaemon
+
+    d = ServeDaemon(socket_path=tmp_path / "s.sock", cache_dir=tmp_path / "c")
+    plain = quick_spec(48)
+    full = CellSpec(program=plain.program, verify="full")
+    sanitize = CellSpec(program=plain.program, verify="sanitize")
+    base = d.keyer.key(plain)
+    # The cache key intentionally ignores verify; the job key must not.
+    assert d.keyer.key(full) == base
+    assert d._job_key(plain) == base
+    assert d._job_key(full) == f"{base}:full"
+    assert d._job_key(sanitize) == f"{base}:sanitize"
+
+
+def test_verifying_submission_never_coalesces_onto_unverified_run(daemon):
+    """verify='full' must not attach to an in-flight unverified job."""
+    program = _SLOW % 21
+    with daemon.client() as client:
+        plain = client.submit(CellSpec(program=program))
+        verifying = client.submit(CellSpec(program=program, verify="full"))
+        assert verifying["job"] != plain["job"]
+        assert not verifying["coalesced"]
+        assert verifying["key"] != plain["key"]
+        # Don't pay for the oracle run: it is still queued (one worker).
+        client.cancel(verifying["job"])
+        assert client.result(plain["job"], wait=True, timeout=90.0).ok
+
+
 # --- cancel semantics ----------------------------------------------------------
 
 
@@ -244,6 +274,31 @@ def test_cancel_running_job_still_lands_in_cache(daemon):
         assert time.monotonic() < deadline, "cancelled job never published"
         time.sleep(0.1)
     assert keyer.get_spec(spec).measurement.exit_code == 15
+
+
+def test_cancel_running_job_detaches_key_for_new_submits(daemon):
+    """A resubmission after cancel starts fresh, never reads 'cancelled'."""
+    spec = slow_spec(19)
+    with daemon.client() as client:
+        before = client.stats()["jobs"]
+        first = client.submit(spec)
+        deadline = time.monotonic() + 60.0
+        while client.status(first["job"])["state"] == "queued":
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        assert client.cancel(first["job"])["cancelled"]
+        second = client.submit(spec)
+        assert second["job"] != first["job"]
+        assert not second["coalesced"]
+        result = client.result(second["job"], wait=True, timeout=90.0)
+        after = client.stats()["jobs"]
+    assert result.measurement.exit_code == 19
+    assert after["cancelled"] - before["cancelled"] == 1
+    # The cancelled-mid-run computation counts only under "cancelled";
+    # exactly one of completed/skipped accounts for the resubmission.
+    assert (after["completed"] - before["completed"]) + (
+        after["skipped"] - before["skipped"]
+    ) == 1
 
 
 # --- disconnect mid-job --------------------------------------------------------
