@@ -6,13 +6,19 @@ improvements in the dynamic behavior may drop slightly for this case
 while the performance of small caches should benefit."
 
 This harness sweeps the bound and reports static growth and dynamic
-savings relative to SIMPLE.
+savings relative to SIMPLE, scored via :mod:`repro.benchsuite.scoring`
+(the autotuner's code path; a parity test pins the equivalence).
 """
 
 from __future__ import annotations
 
 from repro.benchsuite import run_benchmark
-from repro.report import format_table, mean, pct
+from repro.benchsuite.scoring import (
+    aggregate_scores,
+    format_change,
+    score_measurement,
+)
+from repro.report import format_table
 
 from conftest import selected_programs
 
@@ -23,23 +29,20 @@ def test_maxlen_ablation(benchmark, suite_measurements):
     def build():
         rows = []
         for bound in BOUNDS:
-            statics = []
-            dynamics = []
+            scores = []
             for name in selected_programs():
                 simple = suite_measurements[("sparc", "none", name)]
                 m = run_benchmark(
                     name, target="sparc", replication="jumps", max_rtls=bound
                 )
-                statics.append((m.static_insns - simple.static_insns) / simple.static_insns)
-                dynamics.append(
-                    (m.dynamic_insns - simple.dynamic_insns) / simple.dynamic_insns
-                )
+                scores.append(score_measurement(name, m, simple))
+            aggregate = aggregate_scores(scores)
             label = str(bound) if bound is not None else "unbounded"
             rows.append(
                 [
                     label,
-                    f"{mean(statics) * 100:+.2f}%",
-                    f"{mean(dynamics) * 100:+.2f}%",
+                    format_change(aggregate.static_change_mean),
+                    format_change(aggregate.dynamic_change_mean),
                 ]
             )
         return rows

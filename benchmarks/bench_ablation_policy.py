@@ -4,21 +4,33 @@ The paper leaves the choice between "favoring returns" and "favoring
 loops" to a heuristic.  This harness compares three policies: shortest
 sequence (the default), always-favor-returns and always-favor-loops, on
 static growth and dynamic savings.
+
+Scores come from :mod:`repro.benchsuite.scoring` — the same code path
+the per-function autotuner uses, so a bench row and a tuner decision can
+never disagree (a parity test pins this).
 """
 
 from __future__ import annotations
 
 from repro.benchsuite import run_benchmark
-from repro.report import format_table, mean, pct
+from repro.benchsuite.scoring import aggregate_scores, score_measurement
+from repro.report import format_table
 
 from conftest import selected_programs
 
 POLICIES = ("shortest", "returns", "loops")
 
 
+def _as_policy(name):
+    from repro.api import POLICIES as P
+
+    return P[name]
+
+
 def test_policy_ablation(benchmark, suite_measurements):
     def build():
         rows = []
+        scores = {policy: [] for policy in POLICIES}
         for name in selected_programs():
             simple = suite_measurements[("sparc", "none", name)]
             row = [name]
@@ -26,21 +38,13 @@ def test_policy_ablation(benchmark, suite_measurements):
                 m = run_benchmark(
                     name, target="sparc", replication="jumps", policy=_as_policy(policy)
                 )
-                row.append(pct(m.static_insns, simple.static_insns))
-                row.append(pct(m.dynamic_insns, simple.dynamic_insns))
+                score = score_measurement(name, m, simple)
+                scores[policy].append(score)
+                row.extend(score.formatted())
             rows.append(row)
-        return rows
+        return rows, scores
 
-    def _as_policy(name):
-        from repro.api import POLICIES as P
-
-        return P[name]
-
-    rows = benchmark.pedantic(build, rounds=1, iterations=1)
-    headers = ["program"] + [
-        f"{p}({kind})" for p in POLICIES for kind in ("st", "dyn")
-    ]
-    # Reorder header to match row layout (st, dyn per policy).
+    (rows, scores) = benchmark.pedantic(build, rounds=1, iterations=1)
     headers = ["program"]
     for p in POLICIES:
         headers += [f"{p} st", f"{p} dyn"]
@@ -51,17 +55,8 @@ def test_policy_ablation(benchmark, suite_measurements):
     # All policies must preserve behaviour and eliminate the jumps; the
     # shortest policy should not replicate more than favoring returns on
     # average (it minimizes growth by construction).
-    names = selected_programs()
-    shortest_static = mean(
-        [
-            run_benchmark(n, "sparc", "jumps", policy=_as_policy("shortest")).static_insns
-            for n in names
-        ]
-    )
-    returns_static = mean(
-        [
-            run_benchmark(n, "sparc", "jumps", policy=_as_policy("returns")).static_insns
-            for n in names
-        ]
-    )
+    shortest = aggregate_scores(scores["shortest"])
+    returns = aggregate_scores(scores["returns"])
+    shortest_static = shortest.static_insns_total / shortest.programs
+    returns_static = returns.static_insns_total / returns.programs
     assert shortest_static <= returns_static * 1.05

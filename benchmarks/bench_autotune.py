@@ -1,0 +1,256 @@
+"""Acceptance benchmark for the per-function replication autotuner.
+
+Runs the full autotuning sweep over the paper's 14 benchmark programs
+and records the outcome in ``BENCH_TUNE.json`` at the repository root:
+
+1. **headline** — the per-function tuned configuration scores at least
+   as well as the paper's best *fixed global* policy on the Table-5/6
+   aggregate (mean dynamic change vs SIMPLE), and reports by how much
+   it beats the untuned baseline;
+2. **verify gate** — every combined per-program winner re-ran under
+   ``--verify full`` (the differential execution oracle), so tuned
+   output is byte-identical in behavior to the unoptimized program;
+   any gate failure fails the bench;
+3. **valve silence** — summed over *every* cell the sweep ran
+   (candidates, baselines, fixed policies, combined winners),
+   ``valve_trips`` must be zero: the §5.2 convergence guard, not the
+   backstop valves, terminates replication;
+4. **fuzz campaign** — a fresh unbounded campaign (``--fuzz N``
+   programs, differential oracle, no ``max_rtls`` workaround) must come
+   back with zero failures and zero valve trips.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_autotune.py [--quick] [--fuzz N]
+
+``--quick`` shrinks the sweep to 3 programs and a reduced grid for the
+CI ``tune-smoke`` job; the committed artifact is a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.benchsuite.programs import program_names  # noqa: E402
+from repro.benchsuite.scoring import format_change  # noqa: E402
+from repro.exec import ResultCache  # noqa: E402
+from repro.report import format_table  # noqa: E402
+from repro.tune import TuneGrid, tune  # noqa: E402
+from repro.verify.fuzz import run_campaign  # noqa: E402
+
+QUICK_PROGRAMS = 3
+QUICK_FUZZ = 10
+
+VALVE_KEYS = ("valve_trips", "valve_block_trips", "valve_budget_trips")
+
+
+def machine_facts() -> dict:
+    return {
+        "cpu_count": os.cpu_count(),
+        "available_cores": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke: {QUICK_PROGRAMS} programs, reduced grid, "
+        f"{QUICK_FUZZ}-program fuzz campaign",
+    )
+    parser.add_argument(
+        "--fuzz",
+        type=int,
+        default=None,
+        help="fuzz-campaign size (default: 200 full, "
+        f"{QUICK_FUZZ} with --quick)",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_TUNE.json")
+    args = parser.parse_args()
+
+    programs = program_names()
+    grid = TuneGrid()
+    if args.quick:
+        programs = programs[:QUICK_PROGRAMS]
+        grid = TuneGrid(bounds=(None, 8), orders=("standard", "late"))
+    fuzz_count = args.fuzz if args.fuzz is not None else (
+        QUICK_FUZZ if args.quick else 200
+    )
+
+    failures: list = []
+
+    # ---- 1+2+3: the sweep (winners verified, valves accounted) ----------
+    with tempfile.TemporaryDirectory(prefix="repro-bench-tune-") as scratch:
+        start = time.perf_counter()
+        report = tune(
+            programs,
+            grid=grid,
+            workers=args.workers,
+            cache=ResultCache(Path(scratch) / "cache"),
+            verify_gate=True,
+            on_progress=lambda message: print(f"  {message}"),
+        )
+        tune_seconds = time.perf_counter() - start
+
+    rows = []
+    for program_report in report.programs:
+        best_fixed_policy, best_fixed = min(
+            program_report.fixed.items(),
+            key=lambda item: item[1].dynamic_insns,
+        )
+        winners = {
+            f.function: f.winner.label
+            for f in program_report.functions
+            if f.improved
+        }
+        rows.append(
+            [
+                program_report.program,
+                format_change(program_report.baseline.dynamic_change),
+                format_change(program_report.tuned.dynamic_change),
+                f"{format_change(best_fixed.dynamic_change)} ({best_fixed_policy})",
+                ", ".join(f"{k}={v}" for k, v in sorted(winners.items())) or "-",
+            ]
+        )
+        if program_report.tuned.dynamic_insns > best_fixed.dynamic_insns:
+            failures.append(
+                f"{program_report.program}: tuned dynamic "
+                f"{program_report.tuned.dynamic_insns} worse than best fixed "
+                f"policy {best_fixed_policy} ({best_fixed.dynamic_insns})"
+            )
+        if program_report.gate_failure is not None:
+            failures.append(
+                f"{program_report.program}: verify gate failed — "
+                f"{program_report.gate_failure}"
+            )
+
+    print()
+    print(f"Autotuning {len(programs)} programs, {len(grid)}-point grid")
+    print(
+        format_table(
+            ["program", "Δdyn base", "Δdyn tuned", "Δdyn best fixed", "winners"],
+            rows,
+        )
+    )
+
+    tuned = report.tuned_aggregate
+    baseline = report.baseline_aggregate
+    fixed = {
+        policy: report.fixed_aggregate(policy) for policy in grid.policies
+    }
+    best_fixed_policy = min(
+        fixed, key=lambda policy: fixed[policy].dynamic_change_mean
+    )
+    print(
+        f"aggregate dynamic: tuned {format_change(tuned.dynamic_change_mean)}"
+        f" vs baseline {format_change(baseline.dynamic_change_mean)}"
+        f" vs best fixed {format_change(fixed[best_fixed_policy].dynamic_change_mean)}"
+        f" ({best_fixed_policy})"
+    )
+    if tuned.dynamic_change_mean > fixed[best_fixed_policy].dynamic_change_mean:
+        failures.append(
+            "aggregate: tuned dynamic mean "
+            f"{tuned.dynamic_change_mean:+.4f}% worse than best fixed "
+            f"policy {best_fixed_policy}"
+        )
+
+    for key in VALVE_KEYS:
+        if report.replication_totals.get(key, 0):
+            failures.append(
+                f"sweep: {key} = {report.replication_totals[key]} "
+                "(the convergence guard should keep valves silent)"
+            )
+    print(f"sweep valve totals: {report.replication_totals}")
+
+    # ---- 4: fresh unbounded fuzz campaign -------------------------------
+    print(f"fuzzing {fuzz_count} programs (unbounded, full oracle)...")
+    start = time.perf_counter()
+    campaign = run_campaign(fuzz_count, mode="full")
+    fuzz_seconds = time.perf_counter() - start
+    print(
+        f"fuzz campaign: {campaign.programs_run} run, "
+        f"{campaign.failures} failures, totals {campaign.totals}"
+    )
+    if campaign.failures:
+        failure = campaign.first_failure or {}
+        failures.append(
+            f"fuzz: {campaign.failures} failure(s); first at seed "
+            f"{failure.get('seed')}: {failure.get('error')}"
+        )
+    for key in VALVE_KEYS:
+        if campaign.totals.get(key, 0):
+            failures.append(f"fuzz: {key} = {campaign.totals[key]}")
+
+    payload = {
+        "benchmark": "per-function replication autotuner vs fixed global policy",
+        "quick": args.quick,
+        "machine": machine_facts(),
+        "programs": list(programs),
+        "grid": {
+            "policies": list(grid.policies),
+            "bounds": list(grid.bounds),
+            "orders": list(grid.orders),
+            "points": len(grid),
+        },
+        "tune_seconds": round(tune_seconds, 3),
+        "aggregates": {
+            "tuned": tuned.as_dict(),
+            "baseline": baseline.as_dict(),
+            "fixed": {policy: fixed[policy].as_dict() for policy in fixed},
+            "best_fixed_policy": best_fixed_policy,
+        },
+        "tuned_beats_or_ties_best_fixed": tuned.dynamic_change_mean
+        <= fixed[best_fixed_policy].dynamic_change_mean,
+        "verify_gate": {
+            "mode": "full",
+            "gate_failures": [
+                p.program for p in report.programs if p.gate_failure
+            ],
+            "byte_identical": all(
+                p.gate_failure is None for p in report.programs
+            ),
+        },
+        "valve_evidence": {
+            "sweep_totals": dict(sorted(report.replication_totals.items())),
+            "fuzz_campaign": {
+                "programs_run": campaign.programs_run,
+                "failures": campaign.failures,
+                "max_rtls": None,
+                "seconds": round(fuzz_seconds, 3),
+                "totals": dict(sorted(campaign.totals.items())),
+            },
+        },
+        "programs_detail": [p.as_dict() for p in report.programs],
+        "tuned_config": report.config.as_dict(),
+        "note": (
+            "tuned >= best fixed holds by construction (the fixed global "
+            "configuration is a grid point of every function's sweep); the "
+            "bench asserts it end-to-end, after the full-verify gate"
+        ),
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if failures:
+        raise SystemExit("bench_autotune failures:\n" + "\n".join(failures))
+
+
+if __name__ == "__main__":
+    main()

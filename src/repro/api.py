@@ -121,6 +121,7 @@ def compile_and_measure(
     spm_engine: Optional[str] = None,
     verify: Optional[str] = None,
     ease_engine: Optional[str] = None,
+    overrides: Optional[dict] = None,
 ) -> CompilationResult:
     """Compile, optimize, run and measure one program.
 
@@ -146,6 +147,10 @@ def compile_and_measure(
         closure interpreter, the differential reference); ``None``
         defers to ``REPRO_EASE_ENGINE``, then the compiled default.
         Both engines are parity-gated to identical results.
+    :param overrides: per-function replication tunings — a mapping of
+        function name to :class:`repro.opt.driver.FunctionTuning`, as
+        produced by the autotuner (see :mod:`repro.tune`); unnamed
+        functions use the global ``policy``/``max_rtls`` above.
     """
     if source_or_benchmark in PROGRAMS:
         bench = PROGRAMS[source_or_benchmark]
@@ -166,6 +171,7 @@ def compile_and_measure(
         policy=policy,
         max_rtls=max_rtls,
         spm_engine=spm_engine,
+        overrides=dict(overrides) if overrides else {},
     )
     from .verify.verifier import Verifier, resolve_mode
 

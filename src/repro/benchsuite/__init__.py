@@ -8,6 +8,15 @@ from .runner import (
     run_matrix,
     run_suite,
 )
+from .scoring import (
+    AggregateScore,
+    TableScore,
+    aggregate_scores,
+    candidate_key,
+    format_change,
+    relative_change,
+    score_measurement,
+)
 
 __all__ = [
     "PROGRAMS",
@@ -18,4 +27,11 @@ __all__ = [
     "run_benchmark",
     "run_matrix",
     "run_suite",
+    "AggregateScore",
+    "TableScore",
+    "aggregate_scores",
+    "candidate_key",
+    "format_change",
+    "relative_change",
+    "score_measurement",
 ]

@@ -1,0 +1,131 @@
+"""Table-5/6 scoring, shared by the ablation benches and the autotuner.
+
+The paper's evaluation reports each configuration as the relative change
+in *static* instructions (Table 5, code growth) and *dynamic*
+instructions (Table 6, execution savings) against the SIMPLE baseline.
+The ablation harnesses (``benchmarks/bench_ablation_policy.py`` /
+``bench_ablation_maxlen.py``) and the per-function autotuner
+(:mod:`repro.tune`) all score candidates this way; this module is the
+single code path computing those numbers, so a bench table and a tuner
+decision can never disagree about what a candidate scored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "TableScore",
+    "AggregateScore",
+    "relative_change",
+    "format_change",
+    "score_measurement",
+    "candidate_key",
+    "aggregate_scores",
+]
+
+
+def relative_change(new: float, base: float) -> float:
+    """Fractional change of ``new`` against ``base`` (0.0 for base 0)."""
+    if base == 0:
+        return 0.0
+    return (new - base) / base
+
+
+def format_change(fraction: float) -> str:
+    """Render a fractional change in the paper's ``+x.xx%`` style."""
+    return f"{fraction * 100:+.2f}%"
+
+
+@dataclass(frozen=True)
+class TableScore:
+    """One candidate's Table-5/6 numbers for one program."""
+
+    program: str
+    #: Raw counts of the candidate configuration.
+    static_insns: int
+    dynamic_insns: int
+    code_bytes: int
+    #: Relative changes vs the SIMPLE baseline of the same program.
+    static_change: float
+    dynamic_change: float
+
+    def formatted(self) -> Tuple[str, str]:
+        """The (Δstatic, Δdynamic) pair in the paper's percent style."""
+        return format_change(self.static_change), format_change(self.dynamic_change)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.program,
+            "static_insns": self.static_insns,
+            "dynamic_insns": self.dynamic_insns,
+            "code_bytes": self.code_bytes,
+            "static_change": self.static_change,
+            "dynamic_change": self.dynamic_change,
+        }
+
+
+def score_measurement(program: str, measurement, baseline) -> TableScore:
+    """Score one measurement against the program's SIMPLE baseline.
+
+    Both arguments are :class:`repro.ease.measure.Measurement`-shaped
+    (anything with ``static_insns`` / ``dynamic_insns`` / ``code_bytes``).
+    """
+    return TableScore(
+        program=program,
+        static_insns=measurement.static_insns,
+        dynamic_insns=measurement.dynamic_insns,
+        code_bytes=measurement.code_bytes,
+        static_change=relative_change(
+            measurement.static_insns, baseline.static_insns
+        ),
+        dynamic_change=relative_change(
+            measurement.dynamic_insns, baseline.dynamic_insns
+        ),
+    )
+
+
+def candidate_key(score: TableScore) -> Tuple[int, int, int]:
+    """Total order for tuner candidates — smaller is better.
+
+    Dynamic instructions first (the paper's headline metric), static
+    instructions as the tie-break (minimal growth among equally fast
+    candidates), code bytes last (capacity effects, Table 6's concern).
+    """
+    return (score.dynamic_insns, score.static_insns, score.code_bytes)
+
+
+@dataclass(frozen=True)
+class AggregateScore:
+    """Suite-level Table-5/6 aggregate: mean relative changes."""
+
+    programs: int
+    static_change_mean: float
+    dynamic_change_mean: float
+    static_insns_total: int
+    dynamic_insns_total: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "programs": self.programs,
+            "static_change_mean": self.static_change_mean,
+            "dynamic_change_mean": self.dynamic_change_mean,
+            "static_insns_total": self.static_insns_total,
+            "dynamic_insns_total": self.dynamic_insns_total,
+        }
+
+
+def aggregate_scores(scores: Iterable[TableScore]) -> AggregateScore:
+    """The paper's suite aggregate: mean per-program relative changes."""
+    items: List[TableScore] = list(scores)
+    n = len(items)
+    if n == 0:
+        return AggregateScore(0, 0.0, 0.0, 0, 0)
+    return AggregateScore(
+        programs=n,
+        static_change_mean=sum(s.static_change for s in items) / n,
+        dynamic_change_mean=sum(s.dynamic_change for s in items) / n,
+        static_insns_total=sum(s.static_insns for s in items),
+        dynamic_insns_total=sum(s.dynamic_insns for s in items),
+    )

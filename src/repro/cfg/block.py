@@ -19,16 +19,38 @@ from ..rtl.insn import CondBranch, IndirectJump, Insn, Jump, Return
 __all__ = ["BasicBlock", "Function", "GlobalData", "Program"]
 
 
+#: Shared empty ancestry — most blocks are never replicated, so they all
+#: point at one immutable frozenset instead of allocating per block.
+_NO_ANCESTRY: frozenset = frozenset()
+
+
 class BasicBlock:
     """A maximal straight-line sequence of RTLs with a unique label."""
 
-    __slots__ = ("label", "insns", "preds", "succs")
+    __slots__ = ("label", "insns", "preds", "succs", "replica_origin", "replica_ancestry")
 
     def __init__(self, label: str, insns: Optional[List[Insn]] = None) -> None:
         self.label = label
         self.insns: List[Insn] = insns if insns is not None else []
         self.preds: List["BasicBlock"] = []
         self.succs: List["BasicBlock"] = []
+        #: Replication provenance.  ``replica_origin`` is the label of the
+        #: *ultimate* original this block is a copy of (``None`` for blocks
+        #: the front end created), and ``replica_ancestry`` is the frozen
+        #: set of jump identities — ``(origin(jump block), origin(target))``
+        #: label pairs — whose replication events this block's existence
+        #: transitively depends on.  The replication engine's convergence
+        #: guard refuses to re-replicate a jump whose identity already
+        #: appears in its own block's ancestry: that is the "replication ad
+        #: infinitum" self-similarity of §5.2 (see
+        #: :class:`repro.core.replication.CodeReplicator`).
+        self.replica_origin: Optional[str] = None
+        self.replica_ancestry: frozenset = _NO_ANCESTRY
+
+    @property
+    def origin_label(self) -> str:
+        """The label identifying this block across replication copies."""
+        return self.replica_origin if self.replica_origin is not None else self.label
 
     # --- terminator helpers -------------------------------------------------
 

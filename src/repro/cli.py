@@ -111,6 +111,14 @@ def _config_arguments(parser: argparse.ArgumentParser) -> None:
         "differential reference)",
     )
     parser.add_argument(
+        "--tuned-config",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="per-function replication overrides emitted by `repro tune`; "
+        "functions not named there use the global --policy/--max-rtls",
+    )
+    parser.add_argument(
         "--stdin",
         type=Path,
         default=None,
@@ -142,6 +150,20 @@ def _resolve(args) -> tuple:
     return path.read_text(), stdin
 
 
+def _overrides(args) -> Optional[dict]:
+    """Per-function tunings from ``--tuned-config`` (keyed by program name)."""
+    path = getattr(args, "tuned_config", None)
+    if path is None:
+        return None
+    from .tune import TunedConfigError, load_tuned_config
+
+    try:
+        config = load_tuned_config(path)
+    except TunedConfigError as exc:
+        raise SystemExit(f"error: {exc}")
+    return config.overrides_for(args.program) or None
+
+
 def _measure(args, replication: Optional[str] = None, trace: bool = False):
     source, stdin = _resolve(args)
     return compile_and_measure(
@@ -155,6 +177,7 @@ def _measure(args, replication: Optional[str] = None, trace: bool = False):
         spm_engine=args.spm_engine,
         verify=args.verify,
         ease_engine=args.ease_engine,
+        overrides=_overrides(args),
     )
 
 
@@ -651,6 +674,107 @@ def cmd_bench(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_tune(args) -> int:
+    """Autotune per-function replication policies over the suite."""
+    import json
+    import time
+
+    from .exec import ResultCache
+    from .tune import TuneGrid, tune
+
+    names = args.programs if args.programs else program_names()
+    unknown = [name for name in names if name not in PROGRAMS]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown benchmark(s) {', '.join(unknown)}; "
+            f"expected one of {', '.join(program_names())}"
+        )
+    bounds = None
+    if args.bounds is not None:
+        bounds = tuple(
+            None if raw.lower() in ("none", "inf", "unbounded") else int(raw)
+            for raw in args.bounds
+        )
+    try:
+        grid = TuneGrid.parse(
+            policies=args.policies, bounds=bounds, orders=args.orders
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    say = (lambda _m: None) if args.quiet else (
+        lambda message: print(message, file=sys.stderr)
+    )
+    start = time.perf_counter()
+    try:
+        report = tune(
+            names,
+            target=args.target,
+            policy=args.policy,
+            max_rtls=args.max_rtls,
+            grid=grid,
+            workers=args.parallel,
+            cache=cache,
+            server=args.server,
+            verify_gate=not args.no_verify_gate,
+            on_progress=say,
+        )
+    except RuntimeError as exc:
+        raise SystemExit(f"error: {exc}")
+    elapsed = time.perf_counter() - start
+
+    rows = []
+    for program_report in report.programs:
+        winners = ", ".join(
+            f"{f.function}={f.winner.label}"
+            for f in program_report.functions
+            if f.improved
+        )
+        rows.append(
+            [
+                program_report.program,
+                program_report.baseline.formatted()[1],
+                program_report.tuned.formatted()[1],
+                program_report.fixed[
+                    min(
+                        program_report.fixed,
+                        key=lambda p: program_report.fixed[p].dynamic_insns,
+                    )
+                ].formatted()[1],
+                winners or "(baseline)",
+            ]
+        )
+    print(
+        format_table(
+            ["program", "Δdyn base", "Δdyn tuned", "Δdyn best fixed", "winners"],
+            rows,
+        )
+    )
+    tuned = report.tuned_aggregate
+    baseline = report.baseline_aggregate
+    print(
+        f"\naggregate dynamic change: tuned "
+        f"{tuned.dynamic_change_mean * 100:+.2f}% vs baseline "
+        f"{baseline.dynamic_change_mean * 100:+.2f}% "
+        f"({len(report.programs)} programs, grid {report.grid_size}, "
+        f"{elapsed:.1f}s{', served' if report.served else ''})"
+    )
+    gate_failures = [p for p in report.programs if p.gate_failure]
+    for failure in gate_failures:
+        print(
+            f"verify gate REJECTED {failure.program}: {failure.gate_failure}",
+            file=sys.stderr,
+        )
+
+    report.config.save(args.output)
+    print(f"wrote tuned config to {args.output}")
+    if args.json is not None:
+        args.json.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        print(f"wrote full report to {args.json}")
+    return 1 if gate_failures else 0
+
+
 def cmd_fuzz(args) -> int:
     """Fuzz generated programs through the optimizer under verification."""
     import time
@@ -673,6 +797,8 @@ def cmd_fuzz(args) -> int:
         f"({result.totals.get('pass_invocations', 0)} pass invocations, "
         f"{result.totals.get('sanitize_checks', 0)} sanitizer checks, "
         f"{result.totals.get('oracle_runs', 0)} oracle runs, "
+        f"{result.totals.get('valve_trips', 0)} valve trips, "
+        f"{result.totals.get('guard_stops', 0)} guard stops, "
         f"{result.failures} failures)"
     )
     if result.ok:
@@ -1004,6 +1130,107 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
+        "tune",
+        help="autotune per-function replication policies over the suite",
+    )
+    p.add_argument(
+        "--programs",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="subset of benchmark programs (default: all 14)",
+    )
+    p.add_argument(
+        "--target",
+        choices=["m68020", "sparc"],
+        default="sparc",
+        help="machine model (default: sparc)",
+    )
+    p.add_argument(
+        "--policy",
+        choices=sorted(POLICIES),
+        default="shortest",
+        help="global baseline policy the overrides are tuned against "
+        "(default: shortest)",
+    )
+    p.add_argument(
+        "--max-rtls",
+        type=int,
+        default=None,
+        help="global baseline bound on replication sequence length",
+    )
+    p.add_argument(
+        "--policies",
+        nargs="+",
+        choices=sorted(POLICIES),
+        default=None,
+        metavar="POLICY",
+        help="candidate policies to sweep (default: all three)",
+    )
+    p.add_argument(
+        "--bounds",
+        nargs="+",
+        default=None,
+        metavar="N|none",
+        help="candidate max-RTL bounds to sweep (default: none 4 8 16)",
+    )
+    p.add_argument(
+        "--orders",
+        nargs="+",
+        choices=["standard", "late", "nofinal"],
+        default=None,
+        metavar="ORDER",
+        help="candidate pass orderings to sweep (default: all three)",
+    )
+    p.add_argument(
+        "--output",
+        type=Path,
+        default=Path("tuned.json"),
+        metavar="FILE",
+        help="tuned-config file to write (default: tuned.json)",
+    )
+    p.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the full tuning report as JSON",
+    )
+    p.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: one per core)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="persistent result cache directory (default: .repro-cache)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="bypass the persistent cache"
+    )
+    p.add_argument(
+        "--server",
+        default=None,
+        metavar="SOCK",
+        help="route cells through the `repro serve` daemon on this Unix "
+        "socket (falls back to local execution when none is listening)",
+    )
+    p.add_argument(
+        "--no-verify-gate",
+        action="store_true",
+        help="skip the full-verification gate on combined winners "
+        "(the gate is on by default: tuned output must be byte-identical "
+        "under the differential oracle)",
+    )
+    p.add_argument(
+        "--quiet", action="store_true", help="suppress progress on stderr"
+    )
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
         "fuzz",
         help="fuzz generated programs through the optimizer under the "
         "translation validator",
@@ -1035,9 +1262,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-rtls",
         type=int,
-        default=64,
+        default=0,
         help="replication sequence-length bound for fuzzed programs "
-        "(default: 64; 0 = unbounded, occasionally minutes per program)",
+        "(default: 0 = unbounded; the convergence guard keeps "
+        "unbounded campaigns fast)",
     )
     p.add_argument(
         "--no-minimize",

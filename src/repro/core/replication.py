@@ -81,11 +81,25 @@ class ReplicationStats:
     rtls_replicated: int = 0
     rollbacks: int = 0
     jumps_kept: int = 0
-    #: Times a safety valve ended a run early (the function grew to
-    #: ``max_function_blocks``, or the per-run replication budget ran
-    #: out mid-progress).  A non-zero count means remaining jumps are a
-    #: bounded-growth artifact, not an algorithmic leftover.
-    valve_trips: int = 0
+    #: Times the block-count safety valve ended a run early (the function
+    #: grew to ``max_function_blocks``).  A non-zero count means remaining
+    #: jumps are a bounded-growth artifact, not an algorithmic leftover.
+    valve_block_trips: int = 0
+    #: Times the per-run replication budget ran out while sweeps were
+    #: still finding work.  Kept separate from the block valve so callers
+    #: (the autotuner in particular) can tell "the function exploded"
+    #: from "the run was cut short" instead of mis-scoring both the same.
+    valve_budget_trips: int = 0
+    #: Jumps the convergence guard refused because their identity already
+    #: appeared in their own block's replication ancestry — the §5.2
+    #: "replication ad infinitum" self-similarity, stopped at its root
+    #: rather than by a growth valve.
+    guard_stops: int = 0
+
+    @property
+    def valve_trips(self) -> int:
+        """Total safety-valve trips (block cap + budget), either cause."""
+        return self.valve_block_trips + self.valve_budget_trips
 
     def merge(self, other: "ReplicationStats") -> None:
         for spec in fields(self):
@@ -96,7 +110,9 @@ class ReplicationStats:
             )
 
     def as_dict(self) -> dict:
-        return asdict(self)
+        data = asdict(self)
+        data["valve_trips"] = self.valve_trips
+        return data
 
     def __repr__(self) -> str:
         return (
@@ -115,10 +131,14 @@ def clone_function(func: Function) -> Function:
     # the original would — deterministic replay (pass bisection in the
     # translation validator) relies on it.
     copy._next_label = func._next_label
-    copy.blocks = [
-        BasicBlock(block.label, [insn.clone() for insn in block.insns])
-        for block in func.blocks
-    ]
+    copy.blocks = []
+    for block in func.blocks:
+        cloned = BasicBlock(block.label, [insn.clone() for insn in block.insns])
+        # Replication provenance must survive cloning: the convergence
+        # guard's decisions (and hence the whole replay) depend on it.
+        cloned.replica_origin = block.replica_origin
+        cloned.replica_ancestry = block.replica_ancestry
+        copy.blocks.append(cloned)
     compute_flow(copy)
     return copy
 
@@ -139,12 +159,21 @@ class CodeReplicator:
         ] = None,
         engine: Optional[str] = None,
         after_sweep: Optional[Callable[[Function, int], None]] = None,
+        convergence_guard: bool = True,
     ) -> None:
         self.mode = mode
         self.policy = policy
         self.max_rtls = max_rtls
         self.allow_irreducible = allow_irreducible
         self.max_replications = max_replications_per_function
+        # The primary termination mechanism: refuse to replicate a jump
+        # whose identity — the (origin, origin) label pair the jump stands
+        # for — already appears in its own block's replication ancestry.
+        # Such a jump exists only because an earlier replication of the
+        # *same* identity copied it; replicating it again expands the same
+        # structure inside its own expansion, the non-terminating cascade
+        # of §5.2.  Disabled only by tests pinning the safety valves.
+        self.convergence_guard = convergence_guard
         # Which step-1 shortest-path engine to use ("lazy" / "dense");
         # ``None`` defers to the ``REPRO_SPM_ENGINE`` environment variable
         # and ultimately the default.  Both engines produce byte-identical
@@ -173,9 +202,8 @@ class CodeReplicator:
         sweep = 0
         while progress and budget > 0:
             if len(func.blocks) >= self.max_function_blocks:
-                stats.valve_trips += 1
-                if obs is not None:
-                    obs.metrics.inc("replication.valve_trips")
+                stats.valve_block_trips += 1
+                self._record_valve(func, obs, "max_function_blocks")
                 break
             progress = False
             sweep += 1
@@ -214,10 +242,31 @@ class CodeReplicator:
         if progress and budget <= 0:
             # The replication budget ran out while sweeps were still
             # finding work — the cascade valve, not a fixpoint.
-            stats.valve_trips += 1
-            if obs is not None:
-                obs.metrics.inc("replication.valve_trips")
+            stats.valve_budget_trips += 1
+            self._record_valve(func, obs, "budget_exhausted")
         return stats
+
+    @staticmethod
+    def _record_valve(func: Function, obs, reason: str) -> None:
+        """Count a valve trip, labelled by cause (the two are distinct:
+        ``max_function_blocks`` means the function exploded,
+        ``budget_exhausted`` means the run was cut short mid-progress)."""
+        if obs is None:
+            return
+        obs.metrics.inc("replication.valve_trips")
+        obs.metrics.inc(f"replication.valve_trips.{reason}")
+        if obs.decisions.enabled:
+            obs.decisions.record(
+                ReplicationDecision(
+                    function=func.name,
+                    block="",
+                    target="",
+                    mode="valve",
+                    policy="",
+                    outcome="valve",
+                    reason=reason,
+                )
+            )
 
     # ----------------------------------------------------------- jump handling
 
@@ -282,6 +331,25 @@ class CodeReplicator:
             decide("redundant")
             return True
 
+        # Convergence guard (§5.2): the jump's identity is the pair of
+        # *original* labels it stands for, stable across replication
+        # copies.  If that identity is already in this block's ancestry,
+        # the block exists only because this very jump was replicated
+        # before — copying it again is the self-similar expansion that
+        # never reaches a fixpoint.  Jump identities are drawn from the
+        # finite set of original label pairs and every replica's ancestry
+        # strictly grows, so with the guard every run terminates; the
+        # block/budget valves remain as backstops only.
+        identity = (block.origin_label, target.origin_label)
+        if self.convergence_guard and identity in block.replica_ancestry:
+            jump.no_replicate = True
+            stats.jumps_kept += 1
+            stats.guard_stops += 1
+            if obs is not None:
+                obs.metrics.inc("replication.convergence_guard")
+            decide("kept", "convergence_guard")
+            return False
+
         loops = get_analyses(func).loops()
         with (
             tracer.span("jumps.step2.select", block=block.label)
@@ -324,7 +392,13 @@ class CodeReplicator:
                 else NULL_SPAN
             ):
                 undo, copies = self._apply(
-                    func, block, completed, follow, ends_by_fallthrough, loops
+                    func,
+                    block,
+                    completed,
+                    follow,
+                    ends_by_fallthrough,
+                    loops,
+                    identity,
                 )
             with (
                 tracer.span("jumps.step6.reducibility")
@@ -497,14 +571,18 @@ class CodeReplicator:
         follow: Optional[BasicBlock],
         ends_by_fallthrough: bool,
         loops: LoopInfo,
+        identity: Tuple[str, str],
     ) -> Tuple[Callable[[], None], List[str]]:
         """Copy ``sequence`` after ``jump_block`` and rewire the control flow.
+
+        ``identity`` is the replicated jump's identity — the (origin,
+        origin) label pair — recorded in every created block's ancestry
+        so the convergence guard can recognize self-similar expansion.
 
         Returns an ``undo`` callable restoring the function exactly (used
         by the step-6 reducibility rollback) plus the labels of the new
         blocks (replica copies and branch stubs) for the decision log.
         """
-        removed_jump = jump_block.insns.pop()  # the unconditional jump
         copies = [BasicBlock(func.new_label()) for _ in sequence]
 
         def map_target(position: int, original: BasicBlock) -> str:
@@ -532,10 +610,34 @@ class CodeReplicator:
             stub = self._finish_copy(
                 func, original, copy, term, position, next_label, map_target
             )
+            # Provenance: each copy descends from everything its source
+            # block and the jump block descend from, plus this very
+            # replication event.  The guard stopped any jump whose
+            # identity was already in ``jump_block``'s ancestry, so the
+            # copies' ancestry strictly grows along creation chains —
+            # the termination argument rests on that.
+            ancestry = (
+                jump_block.replica_ancestry
+                | original.replica_ancestry
+                | {identity}
+            )
+            copy.replica_origin = original.origin_label
+            copy.replica_ancestry = ancestry
             new_blocks.append(copy)
             if stub is not None:
+                # The stub materializes the fall-through edge of the
+                # copied conditional branch; it belongs to the same copy.
+                stub.replica_origin = original.origin_label
+                stub.replica_ancestry = ancestry
                 new_blocks.append(stub)
 
+        # Consume the jump only *after* the copies are built: loop
+        # completion can splice ``jump_block`` itself into the sequence
+        # (the jump's loop contains it), and its copy must replicate the
+        # jump like any other — popping first would build that copy from
+        # a terminator-less block, silently dropping the copied back
+        # edge and falling through into unrelated code.
+        removed_jump = jump_block.insns.pop()
         insert_at = func.block_index(jump_block) + 1
         func.blocks[insert_at:insert_at] = new_blocks
 

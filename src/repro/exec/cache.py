@@ -77,6 +77,11 @@ class ResultCache:
             f"replication={spec.replication if spec.optimize else '<reference>'}",
             f"policy={spec.policy}",
             f"max_rtls={spec.max_rtls}",
+            # Per-function autotuner overrides: already a sorted tuple of
+            # (function, policy, max_rtls, order) rows, so the repr is
+            # canonical; ``None`` (the untuned common case) keys the same
+            # as before the field existed within this schema version.
+            f"tuned={spec.tuned}",
             f"trace={spec.trace}",
             f"optimize={spec.optimize}",
             f"spm_engine={spec.spm_engine}",

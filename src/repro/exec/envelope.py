@@ -37,7 +37,11 @@ __all__ = ["CellSpec", "CellResult", "CACHE_SCHEMA_VERSION"]
 #: and measurements carry an ``ease_engine`` provenance field; the
 #: engines are parity-gated but differ in timing, so pre-engine
 #: envelopes must not shadow engine-tagged ones.
-CACHE_SCHEMA_VERSION = 6
+#: v7: CellSpec grew ``tuned`` (per-function replication overrides from
+#: the autotuner) and the replication engine gained the §5.2 convergence
+#: guard, which can change replication results on cascading shapes;
+#: guard-less envelopes must not shadow guarded ones.
+CACHE_SCHEMA_VERSION = 7
 
 
 @dataclass(frozen=True)
@@ -85,6 +89,13 @@ class CellSpec:
     #: nothing), and its timings are poisoned by oracle overhead, so it
     #: must not shadow a clean run either.
     verify: Optional[str] = None
+    #: Per-function replication overrides from the autotuner: sorted
+    #: ``(function, policy, max_rtls, order)`` tuples (hashable, so the
+    #: spec stays frozen/picklable).  ``None`` — the common case — means
+    #: the global policy/max_rtls above apply to every function; a tuned
+    #: candidate identical to the global setting must be normalized to
+    #: ``None`` by the caller so it shares the baseline's cache entry.
+    tuned: Optional[Tuple[Tuple[str, str, Optional[int], str], ...]] = None
 
     def resolve(self) -> Tuple[str, bytes]:
         """The (source text, stdin bytes) this cell actually runs."""

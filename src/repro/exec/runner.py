@@ -110,13 +110,23 @@ def execute_cell(spec: CellSpec) -> CellResult:
 
             if spec.optimize:
                 from ..api import POLICIES
+                from ..opt.driver import FunctionTuning
 
+                overrides = {}
+                if spec.tuned:
+                    for function, policy_name, max_rtls, order in spec.tuned:
+                        overrides[function] = FunctionTuning(
+                            policy=POLICIES[policy_name],
+                            max_rtls=max_rtls,
+                            order=order,
+                        )
                 config = OptimizationConfig(
                     replication=spec.replication,
                     policy=POLICIES[spec.policy],
                     max_rtls=spec.max_rtls,
                     validate_cfg=spec.validate_cfg,
                     spm_engine=spec.spm_engine,
+                    overrides=overrides,
                 )
                 from ..verify.verifier import Verifier, resolve_mode
 

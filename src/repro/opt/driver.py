@@ -37,9 +37,9 @@ to pick up jumps kept for reducibility, as described in §5.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from ..cfg.block import Function, Program
 from ..cfg.graph import check_function, compute_flow
@@ -61,7 +61,47 @@ from .reorder import reorder_blocks
 from .regalloc import color_registers, promote_locals
 from .strength_reduction import strength_reduce
 
-__all__ = ["OptimizationConfig", "optimize_function", "optimize_program"]
+__all__ = [
+    "PASS_ORDERS",
+    "FunctionTuning",
+    "OptimizationConfig",
+    "optimize_function",
+    "optimize_program",
+]
+
+
+#: Pass-ordering variants the autotuner may choose per function.
+#:
+#: * ``standard`` — the Figure-3 pipeline exactly as the paper gives it.
+#: * ``late`` — skip the prologue replication invocation; replication
+#:   first runs inside the do-while loop, over already-selected and
+#:   promoted code (some functions replicate better once dead code and
+#:   branch chaining have settled).
+#: * ``nofinal`` — skip the final ``allow_irreducible`` invocation
+#:   (§5.1); keeps jumps whose replication would make the graph
+#:   irreducible, trading a few dynamic jumps for less growth.
+PASS_ORDERS = ("standard", "late", "nofinal")
+
+
+@dataclass(frozen=True)
+class FunctionTuning:
+    """A per-function replication setting chosen by the autotuner.
+
+    Fully specified (no inherit-from-global semantics): the tuner always
+    emits a complete (policy, max_rtls, order) triple per function, so a
+    tuned run is reproducible without knowing the global defaults it was
+    swept against.
+    """
+
+    policy: Policy = Policy.SHORTEST
+    max_rtls: Optional[int] = None
+    order: str = "standard"
+
+    def __post_init__(self) -> None:
+        if self.order not in PASS_ORDERS:
+            raise ValueError(
+                f"order must be one of {PASS_ORDERS}, got {self.order!r}"
+            )
 
 
 @dataclass
@@ -86,6 +126,12 @@ class OptimizationConfig:
     #: Step-1 shortest-path engine for replication ("lazy" / "dense");
     #: ``None`` defers to ``REPRO_SPM_ENGINE`` and the default ("lazy").
     spm_engine: Optional[str] = None
+    #: Per-function (policy, max_rtls, order) overrides emitted by the
+    #: autotuner; functions not named here use the global settings above.
+    overrides: Dict[str, FunctionTuning] = field(default_factory=dict)
+    #: The replication engine's §5.2 convergence guard.  Always on in
+    #: production; tests pinning the backstop valves switch it off.
+    convergence_guard: bool = True
 
     def __post_init__(self) -> None:
         if self.replication not in ("none", "loops", "jumps"):
@@ -97,9 +143,19 @@ class OptimizationConfig:
                 f"spm_engine must be lazy/dense, got {self.spm_engine!r}"
             )
 
+    def tuning_for(self, function_name: str) -> FunctionTuning:
+        """The effective replication tuning for one function."""
+        tuning = self.overrides.get(function_name)
+        if tuning is not None:
+            return tuning
+        return FunctionTuning(
+            policy=self.policy, max_rtls=self.max_rtls, order="standard"
+        )
+
 
 def _make_replicator(
     config: OptimizationConfig,
+    tuning: FunctionTuning,
     allow_irreducible: bool = False,
     after_sweep: Optional[Callable] = None,
 ):
@@ -111,14 +167,16 @@ def _make_replicator(
             policy=Policy.FAVOR_LOOPS,
             engine=config.spm_engine,
             after_sweep=after_sweep,
+            convergence_guard=config.convergence_guard,
         )
     return CodeReplicator(
         mode=ReplicationMode.JUMPS,
-        policy=config.policy,
-        max_rtls=config.max_rtls,
+        policy=tuning.policy,
+        max_rtls=tuning.max_rtls,
         allow_irreducible=allow_irreducible,
         engine=config.spm_engine,
         after_sweep=after_sweep,
+        convergence_guard=config.convergence_guard,
     )
 
 
@@ -152,6 +210,7 @@ def optimize_function(
     observe = (
         instrumentation is not None or config.validate_cfg or obs is not None
     )
+    tuning = config.tuning_for(func.name)
 
     def step(name: str, pass_fn: Callable[[], object]) -> bool:
         if verifier is not None and not verifier.allow_pass(func, name):
@@ -197,7 +256,9 @@ def optimize_function(
 
     def replicate(allow_irreducible: bool = False) -> bool:
         after_sweep = verifier.after_sweep if verifier is not None else None
-        replicator = _make_replicator(config, allow_irreducible, after_sweep)
+        replicator = _make_replicator(
+            config, tuning, allow_irreducible, after_sweep
+        )
         if replicator is None:
             return False
         run_stats = replicator.run(func)
@@ -216,8 +277,9 @@ def optimize_function(
         step("dead_code", lambda: eliminate_dead_code(func))
         step("reorder_blocks", lambda: reorder_blocks(func))
         step("dead_code", lambda: eliminate_dead_code(func))
-        step("replication", replicate)
-        step("dead_code", lambda: eliminate_dead_code(func))
+        if tuning.order != "late":
+            step("replication", replicate)
+            step("dead_code", lambda: eliminate_dead_code(func))
 
         # --- instruction selection & register assignment ----------------------
         step("const_fold", lambda: fold_constants(func))
@@ -250,7 +312,11 @@ def optimize_function(
                 break
 
         # --- epilogue ----------------------------------------------------------
-        if config.final_replication and config.replication == "jumps":
+        if (
+            config.final_replication
+            and config.replication == "jumps"
+            and tuning.order != "nofinal"
+        ):
             if step("replication_final", lambda: replicate(allow_irreducible=True)):
                 step("dead_code", lambda: eliminate_dead_code(func))
                 step("dead_vars", lambda: eliminate_dead_variables(func))

@@ -101,6 +101,37 @@ def spec_to_wire(spec: CellSpec) -> Dict[str, Any]:
     return wire
 
 
+def _tuned_from_wire(value: Any):
+    """Validate ``tuned`` and rebuild its tuple form.
+
+    JSON has no tuples, so the per-function override rows arrive as
+    arrays of ``[function, policy, max_rtls, order]``; the spec needs
+    the hashable tuple-of-tuples form (it is frozen and used as a cache
+    key component).  ``null`` means untuned; an empty array is rejected
+    rather than silently normalized — the client is expected to send
+    ``null`` for "no overrides".
+    """
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ProtocolError("spec field 'tuned' must be null or a non-empty array")
+    rows = []
+    for row in value:
+        if not isinstance(row, (list, tuple)) or len(row) != 4:
+            raise ProtocolError(
+                "each 'tuned' row must be [function, policy, max_rtls, order]"
+            )
+        function, policy, max_rtls, order = row
+        if not isinstance(function, str) or not isinstance(policy, str):
+            raise ProtocolError("'tuned' function and policy must be strings")
+        if not (max_rtls is None or isinstance(max_rtls, int)):
+            raise ProtocolError("'tuned' max_rtls must be an int or null")
+        if not isinstance(order, str):
+            raise ProtocolError("'tuned' order must be a string")
+        rows.append((function, policy, max_rtls, order))
+    return tuple(rows)
+
+
 def spec_from_wire(data: Any) -> CellSpec:
     """Validate and rebuild a :class:`CellSpec` from its wire form."""
     if not isinstance(data, dict):
@@ -131,6 +162,8 @@ def spec_from_wire(data: Any) -> CellSpec:
             value is None or isinstance(value, int)
         ):
             raise ProtocolError("spec field 'max_rtls' must be an int or null")
+        if key == "tuned":
+            value = _tuned_from_wire(value)
         kwargs[key] = value
     if "program" not in kwargs:
         raise ProtocolError("spec is missing 'program'")

@@ -1,0 +1,38 @@
+"""repro.tune — the per-function replication-policy autotuner.
+
+The paper fixes one global JUMPS policy for the whole evaluation; the
+autotuner instead searches, per function, over (policy × §6 RTL bound ×
+pass ordering) and emits a versioned tuned-config JSON the optimization
+driver replays through per-function overrides.  See
+:mod:`repro.tune.tuner` for the sweep, :mod:`repro.tune.grid` for the
+candidate space, :mod:`repro.tune.cutout` for function isolation, and
+:mod:`repro.tune.config` for the artifact format.
+"""
+
+from .config import (
+    TUNED_CONFIG_VERSION,
+    TunedConfig,
+    TunedConfigError,
+    load_tuned_config,
+)
+from .cutout import Cutout, baseline_candidate, function_names, normalize_rows
+from .grid import DEFAULT_BOUNDS, Candidate, TuneGrid
+from .tuner import FunctionTuneReport, ProgramTuneReport, TuneReport, tune
+
+__all__ = [
+    "TUNED_CONFIG_VERSION",
+    "TunedConfig",
+    "TunedConfigError",
+    "load_tuned_config",
+    "Cutout",
+    "baseline_candidate",
+    "function_names",
+    "normalize_rows",
+    "DEFAULT_BOUNDS",
+    "Candidate",
+    "TuneGrid",
+    "FunctionTuneReport",
+    "ProgramTuneReport",
+    "TuneReport",
+    "tune",
+]

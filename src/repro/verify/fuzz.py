@@ -191,8 +191,15 @@ def verify_source(
     program = compile_c(source)
     verifier = Verifier(mode, inputs=inputs, bisect=bisect)
     config = OptimizationConfig(replication=replication, max_rtls=max_rtls)
-    optimize_program(program, get_target(target), config, verifier=verifier)
-    return verifier.report()
+    stats = optimize_program(program, get_target(target), config, verifier=verifier)
+    report = verifier.report()
+    # Valve accounting rides along so campaigns can assert the §5.2
+    # convergence guard keeps the backstop valves silent.
+    report["valve_trips"] = stats.valve_trips
+    report["valve_block_trips"] = stats.valve_block_trips
+    report["valve_budget_trips"] = stats.valve_budget_trips
+    report["guard_stops"] = stats.guard_stops
+    return report
 
 
 @dataclass
@@ -219,17 +226,18 @@ def run_campaign(
     mode: str = "full",
     stop_on_failure: bool = True,
     minimize: bool = True,
-    max_rtls: Optional[int] = 64,
+    max_rtls: Optional[int] = None,
 ) -> CampaignResult:
     """Fuzz ``count`` programs under verification (CI's verify-smoke job).
 
-    ``max_rtls`` defaults to the paper's §6 sequence-length bound rather
-    than unbounded replication: a fuzzed program occasionally hands the
-    JUMPS engine a shape where unbounded replication cascades to the
-    4000-block safety valve, which costs minutes per program.  The bound
-    keeps a campaign's per-program cost near-constant while the pipeline
-    under test is unchanged.  Pass ``max_rtls=None`` for the unbounded
-    engine.
+    Campaigns run the unbounded engine by default.  Historically this
+    defaulted to the paper's §6 ``max_rtls=64`` bound because a fuzzed
+    program occasionally handed the JUMPS engine a shape where unbounded
+    replication cascaded to the 4000-block safety valve, costing minutes
+    per program.  The convergence guard
+    (:class:`repro.core.replication.CodeReplicator`) now stops that
+    cascade at its root, so the workaround is gone; pass an explicit
+    ``max_rtls`` to exercise the bounded engine.
     """
     result = CampaignResult()
     for index in range(count):
@@ -262,7 +270,15 @@ def run_campaign(
             if stop_on_failure:
                 break
         else:
-            for key in ("sanitize_checks", "oracle_runs", "pass_invocations"):
+            for key in (
+                "sanitize_checks",
+                "oracle_runs",
+                "pass_invocations",
+                "valve_trips",
+                "valve_block_trips",
+                "valve_budget_trips",
+                "guard_stops",
+            ):
                 result.totals[key] = result.totals.get(key, 0) + int(
                     report.get(key, 0)
                 )
@@ -275,7 +291,7 @@ def _still_fails(
     target: str,
     replication: str,
     mode: str,
-    max_rtls: Optional[int] = 64,
+    max_rtls: Optional[int] = None,
 ) -> bool:
     try:
         verify_source(

@@ -1,0 +1,111 @@
+"""The shared Table-5/6 scoring library.
+
+Parity is the point: the ablation benches and the autotuner must compute
+identical scores, and the library's percent rendering must match the
+legacy ``repro.report.pct`` path the benches used before the refactor.
+"""
+
+from dataclasses import dataclass
+
+from repro.benchsuite.scoring import (
+    aggregate_scores,
+    candidate_key,
+    format_change,
+    relative_change,
+    score_measurement,
+)
+from repro.report import mean, pct
+
+
+@dataclass
+class _FakeMeasurement:
+    static_insns: int
+    dynamic_insns: int
+    code_bytes: int
+
+
+def _m(static, dynamic, code_bytes=0):
+    return _FakeMeasurement(static, dynamic, code_bytes)
+
+
+class TestRelativeChange:
+    def test_matches_legacy_pct_rendering(self):
+        # The benches used repro.report.pct before the refactor; the
+        # library's formatting must agree on every nonzero base.
+        for new, base in [(105, 100), (95, 100), (100, 100), (7, 3), (0, 5)]:
+            assert format_change(relative_change(new, base)) == pct(new, base)
+
+    def test_zero_base_is_zero_not_crash(self):
+        assert relative_change(5, 0) == 0.0
+
+    def test_sign_conventions(self):
+        assert relative_change(110, 100) > 0  # growth is positive
+        assert relative_change(90, 100) < 0  # savings are negative
+
+
+class TestScoreMeasurement:
+    def test_scores_against_baseline(self):
+        score = score_measurement("wc", _m(110, 900, 440), _m(100, 1000, 400))
+        assert score.program == "wc"
+        assert score.static_insns == 110
+        assert score.dynamic_insns == 900
+        assert score.code_bytes == 440
+        assert abs(score.static_change - 0.10) < 1e-12
+        assert abs(score.dynamic_change - (-0.10)) < 1e-12
+
+    def test_formatted_pair_matches_pct(self):
+        score = score_measurement("wc", _m(110, 900, 0), _m(100, 1000, 0))
+        assert score.formatted() == (pct(110, 100), pct(900, 1000))
+
+
+class TestCandidateKey:
+    def test_dynamic_dominates(self):
+        fast = score_measurement("p", _m(999, 100, 9), _m(100, 1000, 1))
+        slow = score_measurement("p", _m(50, 200, 1), _m(100, 1000, 1))
+        assert candidate_key(fast) < candidate_key(slow)
+
+    def test_static_breaks_dynamic_ties(self):
+        small = score_measurement("p", _m(90, 100, 9), _m(100, 1000, 1))
+        big = score_measurement("p", _m(110, 100, 1), _m(100, 1000, 1))
+        assert candidate_key(small) < candidate_key(big)
+
+    def test_code_bytes_break_remaining_ties(self):
+        lean = score_measurement("p", _m(100, 100, 10), _m(100, 1000, 1))
+        fat = score_measurement("p", _m(100, 100, 20), _m(100, 1000, 1))
+        assert candidate_key(lean) < candidate_key(fat)
+
+
+class TestAggregate:
+    def test_matches_legacy_mean_of_fractions(self):
+        # The maxlen bench averaged per-program fractional changes with
+        # repro.report.mean; the library aggregate must agree.
+        cells = [
+            (_m(110, 900, 0), _m(100, 1000, 0)),
+            (_m(130, 1900, 0), _m(120, 2000, 0)),
+            (_m(75, 480, 0), _m(80, 500, 0)),
+        ]
+        scores = [
+            score_measurement(f"p{i}", m, base)
+            for i, (m, base) in enumerate(cells)
+        ]
+        aggregate = aggregate_scores(scores)
+        legacy_static = mean(
+            [(m.static_insns - b.static_insns) / b.static_insns for m, b in cells]
+        )
+        legacy_dynamic = mean(
+            [
+                (m.dynamic_insns - b.dynamic_insns) / b.dynamic_insns
+                for m, b in cells
+            ]
+        )
+        assert abs(aggregate.static_change_mean - legacy_static) < 1e-12
+        assert abs(aggregate.dynamic_change_mean - legacy_dynamic) < 1e-12
+        assert aggregate.programs == 3
+        assert aggregate.static_insns_total == 110 + 130 + 75
+        assert aggregate.dynamic_insns_total == 900 + 1900 + 480
+
+    def test_empty_aggregate(self):
+        aggregate = aggregate_scores([])
+        assert aggregate.programs == 0
+        assert aggregate.static_change_mean == 0.0
+        assert aggregate.as_dict()["dynamic_change_mean"] == 0.0

@@ -47,9 +47,18 @@ class TestMergeCoversEveryField:
 
     def test_as_dict_covers_every_field(self):
         stats = ReplicationStats()
-        assert set(stats.as_dict()) == {
+        field_names = {
             spec.name for spec in dataclasses.fields(ReplicationStats)
         }
+        keys = set(stats.as_dict())
+        assert field_names <= keys
+        # The only non-field key is the derived valve-trip total.
+        assert keys - field_names == {"valve_trips"}
+
+    def test_valve_trips_derives_from_split_counters(self):
+        stats = ReplicationStats(valve_block_trips=2, valve_budget_trips=5)
+        assert stats.valve_trips == 7
+        assert stats.as_dict()["valve_trips"] == 7
 
     def test_repr_stays_informative(self):
         text = repr(ReplicationStats(jumps_replaced=3, rtls_replicated=9))

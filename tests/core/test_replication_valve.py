@@ -1,16 +1,21 @@
-"""The JUMPS safety valves on cascading flow graphs.
+"""Convergence guard vs. safety valves on cascading flow graphs.
 
-Fuzzed goto/switch-into-loop shapes can make unbounded replication
-cascade: every sweep's copies manufacture fresh unconditional jumps for
-the next sweep ("replication ad infinitum", §5.2).  Two valves bound the
-growth — the ``max_function_blocks`` cap and the per-run replication
-budget — and :class:`repro.core.replication.ReplicationStats` counts
-their trips in ``valve_trips`` so callers can tell a bounded-growth
-leftover from an algorithmic one.
+Fuzzed goto/switch-into-loop shapes used to make unbounded replication
+cascade: completed-loop copies keep an explicit back-edge jump, the next
+sweep replicates that jump, copying the loop again — "replication ad
+infinitum" (§5.2).  The root fix is the *convergence guard*: every
+replica block records the identities (origin-label pairs) of the jumps
+whose replication created it, and the engine refuses to replicate a jump
+whose identity already appears in its own block's ancestry.  Identities
+are drawn from the finite set of original label pairs and ancestry
+strictly grows along creation chains, so every run reaches a fixpoint.
 
-The fuzz campaign (``repro fuzz``) runs with the §6 ``max_rtls=64``
-bound precisely to stay clear of the valve on such shapes; the tests
-here pin both halves of that contract.
+The two valves — the ``max_function_blocks`` cap and the per-run
+replication budget — remain as backstops only, with their trips counted
+separately (``valve_block_trips`` / ``valve_budget_trips``) so callers
+can tell "the function exploded" from "the run was cut short".  The
+tests here pin both halves: guard on ⇒ convergence without valves;
+guard off ⇒ the valves still catch the historical cascade.
 """
 
 from repro.core.replication import (
@@ -25,8 +30,8 @@ from repro.opt.driver import OptimizationConfig, optimize_program
 from repro.targets.machine import get_target
 
 # ``repro.verify.fuzz.generate_program(10)``: a switch inside a nested
-# loop followed by a guarded goto.  Unbounded JUMPS replication cascades
-# on this shape; the §6 bound converges quickly.
+# loop followed by a guarded goto.  Unbounded JUMPS replication cascaded
+# on this shape before the convergence guard.
 CASCADING_SOURCE = """int main() {
     int a, b, c, d;
     int i0;
@@ -72,8 +77,9 @@ CASCADING_SOURCE = """int main() {
 }
 """
 
-# The hypothesis-found goto-into-do-while shape whose cascade exhausts
-# the replication *budget* (not the block cap) inside the full pipeline.
+# The hypothesis-found goto-into-do-while shape whose cascade exhausted
+# the replication *budget* (not the block cap) inside the full pipeline
+# before the convergence guard.
 BUDGET_CASCADE_SOURCE = """int main() {
     int a, b, c, d;
     int i0;
@@ -104,10 +110,11 @@ def _main_function(source):
     return program.functions["main"]
 
 
-class TestBlockValve:
-    def test_unbounded_replication_trips_the_block_valve(self):
-        # A reduced cap keeps the test fast; the code path is the same
-        # one the 4000-block production valve takes.
+class TestConvergenceGuard:
+    def test_cascading_shape_converges_unbounded(self):
+        # The historical non-termination reproducer: unbounded max_rtls,
+        # no valve needed — the guard cuts the cascade at its root and
+        # the run reaches a genuine fixpoint well under the block cap.
         func = _main_function(CASCADING_SOURCE)
         replicator = CodeReplicator(
             mode=ReplicationMode.JUMPS,
@@ -116,18 +123,103 @@ class TestBlockValve:
             max_function_blocks=400,
         )
         stats = replicator.run(func)
-        assert stats.valve_trips >= 1
+        assert stats.valve_trips == 0
+        assert stats.guard_stops >= 1
+        assert len(func.blocks) < 400
+
+    def test_budget_cascade_converges_through_pipeline(self):
+        # Through the full optimizer with the guard on: every replication
+        # pass invocation reaches a fixpoint; no valve trips anywhere.
+        program = compile_c(BUDGET_CASCADE_SOURCE)
+        stats = optimize_program(
+            program,
+            get_target("sparc"),
+            OptimizationConfig(replication="jumps"),
+        )
+        assert stats.valve_trips == 0
+        assert stats.guard_stops >= 1
+
+    def test_guard_leaves_graph_well_formed(self):
+        # Guarded jumps stay behind as ordinary kept jumps; every jump
+        # target must still resolve.
+        func = _main_function(CASCADING_SOURCE)
+        replicator = CodeReplicator(
+            mode=ReplicationMode.JUMPS,
+            max_rtls=None,
+        )
+        replicator.run(func)
+        from repro.rtl.insn import Jump
+
+        for block in func.blocks:
+            term = block.terminator
+            if isinstance(term, Jump):
+                func.block_by_label(term.target)  # raises KeyError if broken
+
+    def test_guard_deterministic_across_clones(self):
+        # Guard decisions hang off block provenance, which cloning must
+        # preserve: two clones of the same function converge identically.
+        func = _main_function(CASCADING_SOURCE)
+        runs = []
+        for _ in range(2):
+            clone = clone_function(func)
+            replicator = CodeReplicator(
+                mode=ReplicationMode.JUMPS,
+                max_rtls=None,
+            )
+            stats = replicator.run(clone)
+            runs.append(
+                (
+                    stats.guard_stops,
+                    stats.jumps_replaced,
+                    stats.valve_trips,
+                    len(clone.blocks),
+                )
+            )
+        assert runs[0] == runs[1]
+
+    def test_guard_idle_on_benign_program(self):
+        # A benign program reaches the fixpoint without the guard ever
+        # firing — the guard only bites on self-similar expansion.
+        func = _main_function(
+            "int main() { int i; int s; s = 0;"
+            " for (i = 0; i < 4; i++) { s = s + i; }"
+            " return s; }"
+        )
+        replicator = CodeReplicator(mode=ReplicationMode.JUMPS)
+        stats = replicator.run(func)
+        assert stats.valve_trips == 0
+        assert stats.guard_stops == 0
+
+
+class TestBlockValveBackstop:
+    def test_unbounded_replication_trips_the_block_valve(self):
+        # With the guard disabled, the historical cascade still exists
+        # and the block valve must catch it — this pins the backstop
+        # code path (a reduced cap keeps the test fast; it is the same
+        # path the 4000-block production valve takes).
+        func = _main_function(CASCADING_SOURCE)
+        replicator = CodeReplicator(
+            mode=ReplicationMode.JUMPS,
+            policy=Policy.SHORTEST,
+            max_rtls=None,
+            max_function_blocks=400,
+            convergence_guard=False,
+        )
+        stats = replicator.run(func)
+        assert stats.valve_block_trips >= 1
+        assert stats.valve_budget_trips == 0
         assert len(func.blocks) >= 400
 
     def test_campaign_max_rtls_bound_avoids_the_valve(self):
-        # The fuzz campaign's §6 bound: same shape, same cap, but the
-        # sequence-length limit converges well under the valve.
+        # The §6 sequence-length bound alone (the fuzz campaign's old
+        # workaround) converges well under the valve even guard-less.
         func = _main_function(CASCADING_SOURCE)
         replicator = CodeReplicator(
             mode=ReplicationMode.JUMPS,
             policy=Policy.SHORTEST,
             max_rtls=64,
             max_function_blocks=400,
+            convergence_guard=False,
         )
         stats = replicator.run(func)
         assert stats.valve_trips == 0
@@ -142,6 +234,7 @@ class TestBlockValve:
             mode=ReplicationMode.JUMPS,
             max_rtls=None,
             max_function_blocks=400,
+            convergence_guard=False,
         )
         replicator.run(func)
         from repro.rtl.insn import Jump
@@ -152,67 +245,54 @@ class TestBlockValve:
                 func.block_by_label(term.target)  # raises KeyError if broken
 
 
-class TestBudgetValve:
-    def test_pipeline_budget_valve_reports_in_stats(self):
-        # Through the full optimizer: each replication pass invocation
-        # re-arms the budget, and the cascade exhausts it repeatedly.
-        # The merged stats must say so — this is what lets the fuzz
-        # property suite distinguish a valve leftover from a JUMPS bug.
-        program = compile_c(BUDGET_CASCADE_SOURCE)
-        stats = optimize_program(
-            program,
-            get_target("sparc"),
-            OptimizationConfig(replication="jumps"),
-        )
-        assert stats.valve_trips >= 1
-
+class TestBudgetValveBackstop:
     def test_budget_exhaustion_counts_once_per_run(self):
+        # A tiny budget cut short mid-cascade reports exactly one
+        # budget trip and zero block trips — the causes are separate.
         func = _main_function(CASCADING_SOURCE)
         replicator = CodeReplicator(
             mode=ReplicationMode.JUMPS,
             max_rtls=None,
             max_replications_per_function=10,
+            convergence_guard=False,
         )
         stats = replicator.run(func)
         assert stats.jumps_replaced == 10
+        assert stats.valve_budget_trips == 1
+        assert stats.valve_block_trips == 0
         assert stats.valve_trips == 1
 
-    def test_fixpoint_run_has_no_valve_trips(self):
-        # A benign program reaches the fixpoint without tripping.
-        func = _main_function(
-            "int main() { int i; int s; s = 0;"
-            " for (i = 0; i < 4; i++) { s = s + i; }"
-            " return s; }"
+    def test_pipeline_valve_backstop_reports_in_stats(self):
+        # With the guard disabled the goto-into-do-while cascade still
+        # runs away inside the full pipeline (every do-while iteration
+        # re-arms replication) and the valves must catch it; merged
+        # stats report the trips with their cause attributed.
+        program = compile_c(BUDGET_CASCADE_SOURCE)
+        config = OptimizationConfig(replication="jumps", convergence_guard=False)
+        stats = optimize_program(program, get_target("sparc"), config)
+        assert stats.valve_trips >= 1
+        assert stats.valve_trips == (
+            stats.valve_block_trips + stats.valve_budget_trips
         )
-        replicator = CodeReplicator(mode=ReplicationMode.JUMPS)
-        stats = replicator.run(func)
-        assert stats.valve_trips == 0
 
 
 class TestStatsPlumbing:
-    def test_valve_trips_merges(self):
-        a = ReplicationStats(valve_trips=2)
-        b = ReplicationStats(valve_trips=3)
+    def test_valve_trips_is_derived_total(self):
+        stats = ReplicationStats(valve_block_trips=2, valve_budget_trips=3)
+        assert stats.valve_trips == 5
+
+    def test_valve_counters_merge(self):
+        a = ReplicationStats(valve_block_trips=2, valve_budget_trips=1)
+        b = ReplicationStats(valve_block_trips=3, guard_stops=4)
         a.merge(b)
-        assert a.valve_trips == 5
+        assert a.valve_block_trips == 5
+        assert a.valve_budget_trips == 1
+        assert a.guard_stops == 4
+        assert a.valve_trips == 6
 
-    def test_valve_trips_in_as_dict(self):
-        assert ReplicationStats().as_dict()["valve_trips"] == 0
-
-    def test_clone_preserves_cascade_determinism(self):
-        # Valve behavior is deterministic: two clones of the same
-        # function trip identically.
-        func = _main_function(CASCADING_SOURCE)
-        runs = []
-        for _ in range(2):
-            clone = clone_function(func)
-            replicator = CodeReplicator(
-                mode=ReplicationMode.JUMPS,
-                max_rtls=None,
-                max_function_blocks=400,
-            )
-            stats = replicator.run(clone)
-            runs.append(
-                (stats.valve_trips, stats.jumps_replaced, len(clone.blocks))
-            )
-        assert runs[0] == runs[1]
+    def test_as_dict_includes_derived_and_split_counters(self):
+        data = ReplicationStats(valve_budget_trips=1, guard_stops=2).as_dict()
+        assert data["valve_trips"] == 1
+        assert data["valve_budget_trips"] == 1
+        assert data["valve_block_trips"] == 0
+        assert data["guard_stops"] == 2

@@ -68,6 +68,8 @@ def test_key_ignores_cache_root(tmp_path):
         {"optimize": False},
         {"stdin": b"abc"},
         {"ease_engine": "interp"},
+        {"tuned": (("main", "returns", None, "standard"),)},
+        {"tuned": (("main", "shortest", 8, "late"),)},
     ],
 )
 def test_key_changes_when_config_changes(tmp_path, variant, monkeypatch):
@@ -87,6 +89,22 @@ def test_key_hashes_resolved_ease_engine(tmp_path, monkeypatch):
     env_key = cache.key(SPEC)
     assert env_key == cache.key(replace(SPEC, ease_engine="interp"))
     assert env_key != cache.key(replace(SPEC, ease_engine="compiled"))
+
+
+def test_key_distinguishes_tuned_rows(tmp_path):
+    """Different per-function overrides are different cells; the sorted
+    tuple form is canonical, so equal choices share one entry."""
+    cache = ResultCache(tmp_path)
+    rows_a = (("f", "loops", None, "standard"), ("main", "returns", 4, "late"))
+    rows_b = (("f", "loops", 16, "standard"), ("main", "returns", 4, "late"))
+    untuned = cache.key(SPEC)
+    assert cache.key(replace(SPEC, tuned=rows_a)) != untuned
+    assert cache.key(replace(SPEC, tuned=rows_a)) != cache.key(
+        replace(SPEC, tuned=rows_b)
+    )
+    assert cache.key(replace(SPEC, tuned=rows_a)) == cache.key(
+        replace(SPEC, tuned=rows_a)
+    )
 
 
 def test_key_resolves_benchmark_source():

@@ -58,10 +58,21 @@ def test_spec_round_trip_full():
         spm_engine="dense",
         verify="off",
         ease_engine="interp",
+        tuned=(("helper", "returns", 8, "late"), ("main", "loops", None, "nofinal")),
     )
     wire = spec_to_wire(spec)
     json.dumps(wire)  # JSON-safe by construction
     assert spec_from_wire(wire) == spec
+
+
+def test_spec_tuned_survives_json_serialization():
+    """JSON turns the tuned tuples into arrays; decoding must restore
+    the hashable tuple-of-tuples form the cache key relies on."""
+    spec = CellSpec(program="wc", tuned=(("main", "returns", None, "standard"),))
+    rebuilt = spec_from_wire(json.loads(json.dumps(spec_to_wire(spec))))
+    assert rebuilt == spec
+    assert isinstance(rebuilt.tuned, tuple)
+    assert isinstance(rebuilt.tuned[0], tuple)
 
 
 def test_spec_wire_encodes_stdin_as_base64():
@@ -83,6 +94,14 @@ def test_spec_wire_encodes_stdin_as_base64():
         {"program": "wc", "verify": 1},
         {"program": "wc", "stdin_b64": "!!!not base64!!!"},
         {"program": "wc", "stdin_b64": 99},
+        {"program": "wc", "tuned": "main"},
+        {"program": "wc", "tuned": []},
+        {"program": "wc", "tuned": [["main", "returns", None]]},
+        {"program": "wc", "tuned": [["main", "returns", None, "standard", 1]]},
+        {"program": "wc", "tuned": [[1, "returns", None, "standard"]]},
+        {"program": "wc", "tuned": [["main", 2, None, "standard"]]},
+        {"program": "wc", "tuned": [["main", "returns", "8", "standard"]]},
+        {"program": "wc", "tuned": [["main", "returns", None, 3]]},
     ],
 )
 def test_spec_from_wire_rejects_malformed(wire):

@@ -34,11 +34,38 @@ class TestVerifySource:
         assert report["oracle_runs"] >= 2
 
     def test_campaign_small_slice_is_clean(self):
+        # Unbounded by default: the max_rtls=64 workaround is gone now
+        # that the convergence guard stops the §5.2 cascade at its root.
         result = run_campaign(4, seed=0)
         assert result.ok
         assert result.programs_run == 4
         assert result.totals["pass_invocations"] > 0
         assert result.totals["oracle_runs"] >= 8
+        assert result.totals["valve_trips"] == 0
+
+    def test_unbounded_campaign_covers_cascading_seed(self):
+        # Seed 10 is the historical switch-into-loop cascade shape; an
+        # unbounded campaign over it must converge guard-stopped, with
+        # the backstop valves silent.
+        result = run_campaign(1, seed=10, minimize=False)
+        assert result.ok
+        assert result.totals["valve_trips"] == 0
+        assert result.totals["valve_block_trips"] == 0
+        assert result.totals["valve_budget_trips"] == 0
+
+    def test_report_carries_valve_accounting(self):
+        report = verify_source(
+            "int main() { int a; a = 3; return a * 2; }",
+            replication="jumps",
+            mode="sanitize",
+        )
+        for key in (
+            "valve_trips",
+            "valve_block_trips",
+            "valve_budget_trips",
+            "guard_stops",
+        ):
+            assert report[key] == 0
 
 
 class TestDdmin:
